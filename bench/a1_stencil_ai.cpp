@@ -1,0 +1,63 @@
+// A1 / SS III-C ablation: stencil applied one vector at a time vs to s
+// vectors simultaneously (google-benchmark microbenchmark).
+//
+// Expected shape (paper SS III-C): the fast-memory model says applying
+// the stencil per vector sustains at least the throughput of the
+// simultaneous schedule, because the simultaneous working set is s times
+// larger for the same arithmetic intensity ceiling.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "grid/stencil.hpp"
+
+namespace {
+
+using rsrpa::grid::Grid3D;
+using rsrpa::grid::StencilLaplacian;
+using rsrpa::la::Matrix;
+
+struct Fixture {
+  Grid3D g = Grid3D::cubic(48, 24.0);
+  StencilLaplacian lap{g, 6};
+  Matrix<double> in, out;
+
+  explicit Fixture(std::size_t s) : in(g.size(), s), out(g.size(), s) {
+    rsrpa::Rng rng(1);
+    for (std::size_t j = 0; j < s; ++j) rng.fill_uniform(in.col(j));
+  }
+};
+
+void BM_StencilOneVectorAtATime(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    f.lap.apply_block(f.in, f.out);
+    benchmark::DoNotOptimize(f.out.data());
+  }
+  const double flops_per_point = 2.0 * (6.0 * f.lap.radius() + 1.0);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops_per_point * static_cast<double>(f.g.size()) *
+          static_cast<double>(state.range(0)) *
+          static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_StencilSimultaneous(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    f.lap.apply_block_simultaneous(f.in, f.out);
+    benchmark::DoNotOptimize(f.out.data());
+  }
+  const double flops_per_point = 2.0 * (6.0 * f.lap.radius() + 1.0);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops_per_point * static_cast<double>(f.g.size()) *
+          static_cast<double>(state.range(0)) *
+          static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_StencilOneVectorAtATime)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_StencilSimultaneous)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench prints a self-describing header naming the paper element it
+// regenerates and the scale it runs at. Default scale is sized for a
+// single core (seconds to a couple of minutes per bench); set RSRPA_FULL=1
+// to extend sweeps to the larger systems of Table III.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace rsrpa::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("RSRPA_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void header(const char* id, const char* paper_element,
+                   const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s — reproduces %s\n", id, paper_element);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("Scale: %s (set RSRPA_FULL=1 for the extended sweep)\n",
+              full_scale() ? "FULL" : "bench");
+  std::printf("==============================================================\n\n");
+}
+
+/// Least-squares slope of log(y) against log(x) — the Fig. 6 exponent.
+inline double loglog_slope(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lx = std::log(x[i]), ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+}  // namespace rsrpa::bench

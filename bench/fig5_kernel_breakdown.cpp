@@ -1,0 +1,69 @@
+// E6 / Fig. 5: per-kernel timing breakdown vs rank count for the largest
+// default system, via the simulated-rank runtime.
+//
+// Expected shape (paper Fig. 5): the nu^{1/2} chi0 nu^{1/2} kernel
+// dominates and scales well; eval error tracks it plus an allreduce;
+// matmult and eigensolve scale poorly and grow in relative share with p.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "par/parallel_rpa.hpp"
+#include "rpa/presets.hpp"
+
+int main() {
+  using namespace rsrpa;
+  bench::header("fig5_kernel_breakdown", "Figure 5",
+                "nu chi0 apply dominates and scales; matmult/eigensolve "
+                "scale poorly, growing in share with p");
+
+  rpa::SystemPreset preset =
+      rpa::make_si_preset(bench::full_scale() ? 5 : 2, false);
+  preset.grid_per_cell = 9;
+  preset.n_eig_per_atom = 4;
+  preset.fd_radius = 4;
+  rpa::BuiltSystem sys = rpa::build_system(preset);
+  std::printf("System: %s (n_d = %zu, n_eig = %zu)\n\n", preset.name.c_str(),
+              preset.n_grid(), preset.n_eig());
+
+  par::ParallelRpaOptions base;
+  base.rpa = sys.default_rpa_options();
+  base.rpa.ell = 1;
+  base.rpa.tol_eig = {1e-30};
+  base.rpa.max_filter_iter = 2;
+
+  std::printf("%-6s %-12s %-12s %-12s %-12s %-12s %-10s\n", "p", "nu_chi0",
+              "eval_error", "matmult", "eigensolve", "total", "chi0 share");
+
+  double chi0_share_first = 0.0, chi0_share_last = 0.0;
+  double t_nuchi0_first = 0.0, t_nuchi0_last = 0.0;
+  std::size_t p_first = 1, p_last = 1;
+
+  for (std::size_t p = 1; p * 4 <= preset.n_eig() && p <= 64; p *= 2) {
+    par::ParallelRpaOptions opts = base;
+    opts.n_ranks = p;
+    par::ParallelRpaResult res = par::run_parallel_rpa(sys.ks, *sys.klap, opts);
+    const auto& k = res.modeled;
+    const double share = k.nu_chi0 / k.total();
+    std::printf("%-6zu %-12.3f %-12.3f %-12.4f %-12.4f %-12.3f %-10.2f\n", p,
+                k.nu_chi0, k.eval_error, k.matmult, k.eigensolve, k.total(),
+                share);
+    if (p == 1) {
+      chi0_share_first = share;
+      t_nuchi0_first = k.nu_chi0;
+      p_first = p;
+    }
+    chi0_share_last = share;
+    t_nuchi0_last = k.nu_chi0;
+    p_last = p;
+  }
+
+  const double chi0_speedup = t_nuchi0_first / t_nuchi0_last;
+  const double chi0_eff =
+      chi0_speedup / (static_cast<double>(p_last) / p_first);
+  std::printf("\nChecks:\n");
+  std::printf("  nu_chi0 dominates at p = 1 (share %.2f > 0.5): %s\n",
+              chi0_share_first, chi0_share_first > 0.5 ? "PASS" : "FAIL");
+  std::printf("  nu_chi0 parallel efficiency to p = %zu: %.2f (> 0.4): %s\n",
+              p_last, chi0_eff, chi0_eff > 0.4 ? "PASS" : "FAIL");
+  return (chi0_share_first > 0.5 && chi0_eff > 0.4) ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// E7 / Fig. 6: computational complexity with respect to the number of
+// grid points n_d.
+//
+// Expected shape (paper Fig. 6): elapsed time scales sub-cubically —
+// the paper fits O(n_d^2.95) on 24 cores and O(n_d^2.87) on 192. Here the
+// fixed-work protocol of the scaling benches is applied to a size sweep
+// and the log-log slope is fitted.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "par/parallel_rpa.hpp"
+#include "rpa/presets.hpp"
+
+int main() {
+  using namespace rsrpa;
+  bench::header("fig6_complexity", "Figure 6",
+                "time-to-solution scales ~O(n_d^2.9) with system size");
+
+  const std::size_t max_cells = bench::full_scale() ? 5 : 3;
+  std::vector<double> nds, times;
+
+  std::printf("%-8s %-8s %-8s %-8s %-12s\n", "system", "n_d", "n_s", "n_eig",
+              "time(s)");
+  for (std::size_t ncells = 1; ncells <= max_cells; ++ncells) {
+    rpa::SystemPreset preset = rpa::make_si_preset(ncells, false);
+    preset.grid_per_cell = 9;
+    preset.n_eig_per_atom = 4;
+    preset.fd_radius = 4;
+    rpa::BuiltSystem sys = rpa::build_system(preset);
+
+    par::ParallelRpaOptions opts;
+    opts.rpa = sys.default_rpa_options();
+    opts.rpa.ell = 1;
+    opts.rpa.tol_eig = {1e-30};
+    opts.rpa.max_filter_iter = 2;
+    opts.n_ranks = 1;
+    par::ParallelRpaResult res = par::run_parallel_rpa(sys.ks, *sys.klap, opts);
+
+    nds.push_back(static_cast<double>(preset.n_grid()));
+    times.push_back(res.modeled_total_seconds);
+    std::printf("%-8s %-8zu %-8zu %-8zu %-12.2f\n", preset.name.c_str(),
+                preset.n_grid(), preset.n_occ(), preset.n_eig(),
+                res.modeled_total_seconds);
+  }
+
+  const double slope = bench::loglog_slope(nds, times);
+  std::printf("\nFitted exponent: time ~ O(n_d^%.2f)  (paper: 2.95 / 2.87)\n",
+              slope);
+  const bool pass = slope > 2.0 && slope < 3.4;
+  std::printf("Check: exponent in (2.0, 3.4) — cubic-class, not quartic: %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

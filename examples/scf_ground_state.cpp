@@ -1,0 +1,47 @@
+// The KS-DFT substrate on its own: self-consistent ground state of the
+// model silicon cell — the "prior KS-DFT calculation" whose occupied
+// orbitals, energies and density the RPA stage consumes.
+#include <cstdio>
+
+#include "dft/density.hpp"
+#include "dft/scf.hpp"
+#include "dft/xc.hpp"
+#include "hamiltonian/hamiltonian.hpp"
+#include "poisson/kronecker.hpp"
+
+int main() {
+  using namespace rsrpa;
+
+  Rng rng(7);
+  ham::Crystal crystal = ham::make_silicon_chain(1, 0.01, rng);
+  std::printf("Si8 diamond cell: %zu atoms, %zu bonds, %zu occupied orbitals\n",
+              crystal.n_atoms(), crystal.bonds().size(), crystal.n_occupied());
+
+  const grid::Grid3D g = grid::Grid3D::cubic(11, ham::kSiLatticeConstant);
+  const int radius = 4;
+  ham::Hamiltonian h(g, radius, crystal, ham::ModelParams{});
+  poisson::KroneckerLaplacian pois(g, radius);
+
+  std::printf("Grid: %zu^3 = %zu points, mesh %.3f Bohr, FD radius %d\n\n",
+              g.nx(), g.size(), g.hx(), radius);
+
+  dft::ScfOptions opts;
+  const std::size_t n_occ = crystal.n_occupied();
+  Rng scf_rng(13);
+  dft::ScfResult res = dft::run_scf(h, pois, n_occ, opts, scf_rng);
+
+  std::printf("SCF %s in %d cycles\n", res.converged ? "converged" : "did NOT converge",
+              res.iterations);
+  std::printf("Electron count: %.6f (expected %.1f)\n",
+              dft::integrate(res.density, g), 2.0 * static_cast<double>(n_occ));
+  std::printf("Band energy 2*sum(lambda): %.6f Ha\n", res.band_energy);
+  std::printf("LDA XC energy:            %.6f Ha\n",
+              dft::lda_exc_energy(res.density, g.dv()));
+
+  std::printf("\nOccupied Kohn-Sham eigenvalues (Ha):\n");
+  for (std::size_t j = 0; j < res.gs.eigenvalues.size(); ++j) {
+    std::printf("  %8.4f", res.gs.eigenvalues[j]);
+    if ((j + 1) % 4 == 0) std::printf("\n");
+  }
+  return res.converged ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+// Vacancy formation energy study — the chemical-accuracy experiment of
+// paper SS IV-A: the RPA correlation energy DIFFERENCE between a perturbed
+// Si8 crystal and the same crystal with a vacancy (Si7). Absolute
+// correlation energies are expensive to converge; relative energies
+// between related systems reach chemical accuracy at loose parameters,
+// which is the paper's point.
+#include <cstdio>
+
+#include "rpa/presets.hpp"
+
+int main() {
+  using namespace rsrpa;
+
+  auto run = [](bool vacancy) {
+    rpa::SystemPreset preset = rpa::make_si_preset(1, /*paper_scale=*/false);
+    preset.vacancy = vacancy;
+    preset.perturbation = 0.01;
+    rpa::BuiltSystem sys = rpa::build_system(preset);
+    rpa::RpaOptions opts = sys.default_rpa_options();
+    rpa::RpaResult res = rpa::compute_rpa_energy(sys.ks, *sys.klap, opts);
+    std::printf("%-6s: %2zu atoms, n_s = %2zu, gap = %.4f Ha, E_RPA = %+.6f Ha "
+                "(%+.6f Ha/atom), %.1f s\n",
+                vacancy ? "Si7(v)" : "Si8", preset.n_atoms(), preset.n_occ(),
+                sys.ks.gap(), res.e_rpa, res.e_rpa_per_atom, res.total_seconds);
+    return res;
+  };
+
+  std::printf("RPA correlation energy: pristine vs vacancy cell\n\n");
+  rpa::RpaResult pristine = run(false);
+  rpa::RpaResult vacancy = run(true);
+
+  const double de_per_atom =
+      pristine.e_rpa / 8.0 - vacancy.e_rpa / 7.0;
+  std::printf("\nDelta E_RPA = %.5e Ha/atom\n", de_per_atom);
+  std::printf("(paper SS IV-A reports 1.28e-3 Ha/atom for real silicon at "
+              "full scale;\n the model reproduces the magnitude class, not "
+              "the exact value)\n");
+  return (pristine.converged && vacancy.converged) ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Key-value configuration files in the style of the paper artifact's
+// `.rpa` inputs, e.g.
+//
+//   N_NUCHI_EIGS: 768
+//   N_OMEGA: 8
+//   TOL_EIG: 4e-3 2e-3 5e-4 5e-4 5e-4 5e-4 5e-4 5e-4
+//   TOL_STERN_RES: 1e-2
+//
+// Keys are case-sensitive; values are whitespace-separated scalars. Lines
+// starting with '#' and blank lines are ignored.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rsrpa {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from file contents (not a path) — callers read the file.
+  static Config parse(const std::string& text);
+  /// Parse the file at `path`. Throws Error if unreadable.
+  static Config parse_file(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Scalar accessors; throw Error if the key is missing or malformed.
+  [[nodiscard]] int get_int(const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] std::string get_string(const std::string& key) const;
+  [[nodiscard]] std::vector<double> get_doubles(const std::string& key) const;
+
+  /// Accessors with defaults for optional keys.
+  [[nodiscard]] int get_int_or(const std::string& key, int fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& key, double fallback) const;
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  [[nodiscard]] const std::string& raw(const std::string& key) const;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace rsrpa

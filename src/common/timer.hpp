@@ -1,0 +1,68 @@
+// Wall-clock timing utilities.
+//
+// WallTimer is a trivial stopwatch. KernelTimers is a named accumulator
+// used to produce the per-kernel timing breakdown of the paper's Fig. 5
+// (nu^{1/2} chi0 nu^{1/2} apply, matmult, eigensolve, eval error). Scoped
+// accumulation via ScopedKernelTimer keeps call sites one line.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rsrpa {
+
+/// Simple monotonic stopwatch measuring seconds.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+  void reset() { start_ = Clock::now(); }
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Named accumulator of kernel times. Not thread-safe by design: each
+/// simulated rank owns its own instance and results are merged afterwards.
+class KernelTimers {
+ public:
+  /// Add `seconds` to the bucket `name`, creating it if needed.
+  void add(const std::string& name, double seconds);
+  /// Accumulated seconds in bucket `name` (0 if absent).
+  [[nodiscard]] double get(const std::string& name) const;
+  /// Sum of all buckets.
+  [[nodiscard]] double total() const;
+  /// All buckets in insertion-independent (sorted) order.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> entries() const;
+  /// Merge another set of timers into this one (bucket-wise sum).
+  void merge(const KernelTimers& other);
+  /// Bucket-wise maximum — used to form the per-rank critical path.
+  void merge_max(const KernelTimers& other);
+  void clear() { buckets_.clear(); }
+
+ private:
+  std::map<std::string, double> buckets_;
+};
+
+/// RAII helper: accumulates the lifetime of the scope into a bucket.
+class ScopedKernelTimer {
+ public:
+  ScopedKernelTimer(KernelTimers& timers, std::string name)
+      : timers_(timers), name_(std::move(name)) {}
+  ~ScopedKernelTimer() { timers_.add(name_, timer_.seconds()); }
+  ScopedKernelTimer(const ScopedKernelTimer&) = delete;
+  ScopedKernelTimer& operator=(const ScopedKernelTimer&) = delete;
+
+ private:
+  KernelTimers& timers_;
+  std::string name_;
+  WallTimer timer_;
+};
+
+}  // namespace rsrpa

@@ -1,0 +1,24 @@
+#include "dft/density.hpp"
+
+namespace rsrpa::dft {
+
+std::vector<double> compute_density(const la::Matrix<double>& orbitals,
+                                    const grid::Grid3D& g) {
+  RSRPA_REQUIRE(orbitals.rows() == g.size());
+  std::vector<double> rho(g.size(), 0.0);
+  const double scale = 2.0 / g.dv();
+  for (std::size_t j = 0; j < orbitals.cols(); ++j) {
+    auto col = orbitals.col(j);
+    for (std::size_t i = 0; i < g.size(); ++i)
+      rho[i] += scale * col[i] * col[i];
+  }
+  return rho;
+}
+
+double integrate(std::span<const double> rho, const grid::Grid3D& g) {
+  double sum = 0.0;
+  for (double v : rho) sum += v;
+  return sum * g.dv();
+}
+
+}  // namespace rsrpa::dft

@@ -1,0 +1,23 @@
+// Electron density from occupied orbitals.
+//
+// Orbitals are grid-l2-orthonormal (sum_i psi_i^2 = 1); the physical
+// normalization carries a 1/dv so that the density integrates to the
+// electron count: integral rho dv = 2 * n_occ (doubly-occupied orbitals).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "la/matrix.hpp"
+
+namespace rsrpa::dft {
+
+/// rho(r) = (2/dv) sum_j |psi_j(r)|^2 over the occupied orbitals.
+std::vector<double> compute_density(const la::Matrix<double>& orbitals,
+                                    const grid::Grid3D& g);
+
+/// integral rho dv — must equal twice the orbital count.
+double integrate(std::span<const double> rho, const grid::Grid3D& g);
+
+}  // namespace rsrpa::dft

@@ -1,0 +1,21 @@
+#include "dft/ks_system.hpp"
+
+namespace rsrpa::dft {
+
+KsSystem make_ks_system(std::shared_ptr<const ham::Hamiltonian> h,
+                        std::size_t n_occ, const ChefsiOptions& opts,
+                        Rng& rng) {
+  RSRPA_REQUIRE(n_occ >= 1);
+  // Solve one extra state so the gap (HOMO-LUMO) is available.
+  GroundState gs = solve_ground_state(*h, n_occ + 1, opts, rng);
+  KsSystem sys;
+  sys.h = std::move(h);
+  sys.lumo = gs.eigenvalues[n_occ];
+  sys.homo = gs.eigenvalues[n_occ - 1];
+  sys.eigenvalues.assign(gs.eigenvalues.begin(),
+                         gs.eigenvalues.begin() + n_occ);
+  sys.orbitals = gs.orbitals.slice_cols(0, n_occ);
+  return sys;
+}
+
+}  // namespace rsrpa::dft

@@ -1,0 +1,37 @@
+// The handoff object between the KS-DFT substrate and the RPA stage.
+//
+// KsSystem bundles everything Algorithm 7 of the paper needs: the (fixed)
+// Hamiltonian, the lowest n_s eigenpairs (occupied orbitals), and the
+// spectral gap that controls how hard the (n_s, l) Sternheimer systems
+// are. gap_lambda is also what the Galerkin initial guess (Eq. 13)
+// deflates against.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dft/chefsi.hpp"
+#include "hamiltonian/hamiltonian.hpp"
+#include "la/matrix.hpp"
+
+namespace rsrpa::dft {
+
+struct KsSystem {
+  std::shared_ptr<const ham::Hamiltonian> h;  ///< with converged V_eff
+  std::vector<double> eigenvalues;            ///< lowest n_s, ascending
+  la::Matrix<double> orbitals;                ///< n_d x n_s, l2-orthonormal
+  double lumo = 0.0;                          ///< first unoccupied energy
+  double homo = 0.0;                          ///< highest occupied energy
+
+  [[nodiscard]] std::size_t n_occ() const { return eigenvalues.size(); }
+  [[nodiscard]] std::size_t n_grid() const { return h->grid().size(); }
+  [[nodiscard]] double gap() const { return lumo - homo; }
+};
+
+/// Solve the lowest n_occ + 1 states of `h` (no SCF — fixed potential) and
+/// package the occupied manifold. Used when the caller has already run
+/// SCF, or for the non-self-consistent model experiments.
+KsSystem make_ks_system(std::shared_ptr<const ham::Hamiltonian> h,
+                        std::size_t n_occ, const ChefsiOptions& opts, Rng& rng);
+
+}  // namespace rsrpa::dft

@@ -1,0 +1,89 @@
+#include "dft/mixing.hpp"
+
+#include "common/error.hpp"
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+
+namespace rsrpa::dft {
+
+std::vector<double> AndersonMixer::mix(std::span<const double> rho_in,
+                                       std::span<const double> rho_out) {
+  RSRPA_REQUIRE(rho_in.size() == rho_out.size());
+  const std::size_t n = rho_in.size();
+
+  std::vector<double> residual(n);
+  for (std::size_t i = 0; i < n; ++i) residual[i] = rho_out[i] - rho_in[i];
+
+  inputs_.emplace_back(rho_in.begin(), rho_in.end());
+  residuals_.push_back(residual);
+  while (inputs_.size() > depth_) {
+    inputs_.pop_front();
+    residuals_.pop_front();
+  }
+
+  const std::size_t m = inputs_.size();
+  if (m == 1) {
+    // First cycle: fall back to damped linear mixing.
+    std::vector<double> next(n);
+    for (std::size_t i = 0; i < n; ++i)
+      next[i] = rho_in[i] + beta_ * residual[i];
+    return next;
+  }
+
+  // Solve the least-squares problem min || sum_k c_k F_k || with
+  // sum c_k = 1 via the normal equations on residual differences
+  // (the standard Anderson/Pulay formulation).
+  const std::size_t mm = m - 1;
+  la::Matrix<double> gram(mm, mm);
+  std::vector<double> rhs(mm, 0.0);
+  const std::vector<double>& f_last = residuals_.back();
+  for (std::size_t a = 0; a < mm; ++a) {
+    for (std::size_t b = a; b < mm; ++b) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        sum += (f_last[i] - residuals_[a][i]) * (f_last[i] - residuals_[b][i]);
+      gram(a, b) = sum;
+      gram(b, a) = sum;
+    }
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      s += (f_last[i] - residuals_[a][i]) * f_last[i];
+    rhs[a] = s;
+  }
+  // Regularize lightly: histories can become linearly dependent.
+  double trace = 0.0;
+  for (std::size_t a = 0; a < mm; ++a) trace += gram(a, a);
+  for (std::size_t a = 0; a < mm; ++a)
+    gram(a, a) += 1e-12 * (trace > 0 ? trace : 1.0);
+
+  std::vector<double> theta;
+  try {
+    la::Lu<double> lu(gram);
+    lu.solve_inplace(std::span<double>(rhs));
+    theta = rhs;
+  } catch (const NumericalBreakdown&) {
+    // Degenerate history: restart from damped linear mixing.
+    reset();
+    std::vector<double> next(n);
+    for (std::size_t i = 0; i < n; ++i)
+      next[i] = rho_in[i] + beta_ * residual[i];
+    return next;
+  }
+
+  // Mixed input and residual: x_bar = x_m - sum theta_a (x_m - x_a),
+  // f_bar likewise; next input = x_bar + beta f_bar.
+  std::vector<double> next(n);
+  const std::vector<double>& x_last = inputs_.back();
+  for (std::size_t i = 0; i < n; ++i) {
+    double xb = x_last[i];
+    double fb = f_last[i];
+    for (std::size_t a = 0; a < mm; ++a) {
+      xb -= theta[a] * (x_last[i] - inputs_[a][i]);
+      fb -= theta[a] * (f_last[i] - residuals_[a][i]);
+    }
+    next[i] = xb + beta_ * fb;
+  }
+  return next;
+}
+
+}  // namespace rsrpa::dft

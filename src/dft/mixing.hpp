@@ -1,0 +1,42 @@
+// Density mixing accelerators for the SCF loop.
+//
+// Linear mixing is robust but slow; Anderson (Pulay/DIIS-type) mixing
+// extrapolates over a history of (density, residual) pairs and is the
+// standard accelerator in real-space DFT codes such as SPARC. The SCF
+// driver selects the scheme through ScfOptions.
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace rsrpa::dft {
+
+/// Anderson mixing with a bounded history. Usage per SCF cycle:
+///   next = mixer.mix(rho_in, rho_out);
+class AndersonMixer {
+ public:
+  /// `depth` history pairs, `beta` the damping applied to the
+  /// extrapolated residual (beta = 1 is plain Anderson).
+  AndersonMixer(std::size_t depth, double beta)
+      : depth_(depth), beta_(beta) {}
+
+  /// Compute the next input density from the current (in, out) pair.
+  std::vector<double> mix(std::span<const double> rho_in,
+                          std::span<const double> rho_out);
+
+  void reset() {
+    inputs_.clear();
+    residuals_.clear();
+  }
+
+  [[nodiscard]] std::size_t history_size() const { return inputs_.size(); }
+
+ private:
+  std::size_t depth_;
+  double beta_;
+  std::deque<std::vector<double>> inputs_;     ///< rho_in history
+  std::deque<std::vector<double>> residuals_;  ///< rho_out - rho_in history
+};
+
+}  // namespace rsrpa::dft

@@ -1,0 +1,76 @@
+#include "dft/scf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dft/density.hpp"
+#include "dft/mixing.hpp"
+#include "dft/xc.hpp"
+
+namespace rsrpa::dft {
+
+ScfResult run_scf(ham::Hamiltonian& h, const poisson::KroneckerLaplacian& pois,
+                  std::size_t n_occ, const ScfOptions& opts, Rng& rng) {
+  const grid::Grid3D& g = h.grid();
+  const std::size_t n = g.size();
+  const std::vector<double> v_pseudo = h.local_potential();
+
+  ScfResult out;
+  // Initial guess: orbitals of the bare pseudopotential Hamiltonian.
+  out.gs = solve_ground_state(h, n_occ, opts.eig, rng);
+  std::vector<double> rho = compute_density(out.gs.orbitals, g);
+
+  std::vector<double> vh(n), veff(n);
+  AndersonMixer mixer(opts.anderson_depth, opts.mixing);
+  for (int iter = 1; iter <= opts.max_iter; ++iter) {
+    // Effective potential from the current density.
+    pois.apply_nu(rho, vh);  // -Lap vh = 4 pi rho (Hartree, zero mean)
+    const std::vector<double> vxc = lda_vxc(rho);
+    for (std::size_t i = 0; i < n; ++i)
+      veff[i] = v_pseudo[i] + vh[i] + vxc[i];
+    h.set_local_potential(veff);
+
+    out.gs = solve_ground_state(h, n_occ, opts.eig, rng);
+    std::vector<double> rho_out = compute_density(out.gs.orbitals, g);
+
+    double diff2 = 0.0, norm2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = rho_out[i] - rho[i];
+      diff2 += d * d;
+      norm2 += rho_out[i] * rho_out[i];
+    }
+    const double rel = std::sqrt(diff2 / std::max(norm2, 1e-30));
+    out.iterations = iter;
+
+    if (rel <= opts.tol) {
+      out.converged = true;
+      rho = std::move(rho_out);
+      break;
+    }
+    if (opts.scheme == ScfOptions::Mixing::kAnderson) {
+      rho = mixer.mix(rho, rho_out);
+      // Anderson extrapolation can slightly undershoot zero; clamp.
+      for (double& v : rho) v = std::max(v, 0.0);
+    } else {
+      // Linear mixing toward the output density.
+      for (std::size_t i = 0; i < n; ++i)
+        rho[i] = (1.0 - opts.mixing) * rho[i] + opts.mixing * rho_out[i];
+    }
+  }
+
+  // Final consistency: eigenpairs must correspond to the potential built
+  // from the final density (one last potential refresh + solve).
+  pois.apply_nu(rho, vh);
+  const std::vector<double> vxc = lda_vxc(rho);
+  for (std::size_t i = 0; i < n; ++i) veff[i] = v_pseudo[i] + vh[i] + vxc[i];
+  h.set_local_potential(veff);
+  out.gs = solve_ground_state(h, n_occ, opts.eig, rng);
+
+  out.density = std::move(rho);
+  out.veff = std::move(veff);
+  out.band_energy = 0.0;
+  for (double lam : out.gs.eigenvalues) out.band_energy += 2.0 * lam;
+  return out;
+}
+
+}  // namespace rsrpa::dft

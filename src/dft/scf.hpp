@@ -1,0 +1,39 @@
+// Self-consistent field loop — the "prior KS-DFT calculation" of the
+// paper, whose occupied orbitals, energies and density the RPA stage
+// consumes. V_eff = V_pseudo + V_Hartree(rho) + V_xc(rho), with the
+// Hartree potential from the Kronecker Poisson solver and simple linear
+// density mixing. Each cycle re-solves the lowest eigenpairs with CheFSI.
+#pragma once
+
+#include "dft/chefsi.hpp"
+#include "poisson/kronecker.hpp"
+
+namespace rsrpa::dft {
+
+struct ScfOptions {
+  enum class Mixing { kLinear, kAnderson };
+
+  int max_iter = 40;
+  double tol = 1e-6;     ///< relative density residual ||rho_out - rho_in||
+  double mixing = 0.35;  ///< damping (linear) / beta (Anderson)
+  Mixing scheme = Mixing::kAnderson;
+  std::size_t anderson_depth = 5;
+  ChefsiOptions eig;
+};
+
+struct ScfResult {
+  GroundState gs;                ///< eigenpairs in the CONVERGED V_eff
+  std::vector<double> density;   ///< self-consistent electron density
+  std::vector<double> veff;      ///< converged effective local potential
+  int iterations = 0;
+  bool converged = false;
+  double band_energy = 0.0;      ///< 2 sum_j lambda_j
+};
+
+/// Run the SCF loop. On return `h` carries the converged V_eff, so the
+/// eigenpairs in the result are eigenpairs of `h` — the invariant the
+/// Sternheimer equations rely on.
+ScfResult run_scf(ham::Hamiltonian& h, const poisson::KroneckerLaplacian& pois,
+                  std::size_t n_occ, const ScfOptions& opts, Rng& rng);
+
+}  // namespace rsrpa::dft

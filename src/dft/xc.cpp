@@ -1,0 +1,55 @@
+#include "dft/xc.hpp"
+
+#include <cmath>
+
+namespace rsrpa::dft {
+
+namespace {
+// Perdew-Zunger correlation constants (unpolarized).
+constexpr double kGamma = -0.1423, kBeta1 = 1.0529, kBeta2 = 0.3334;
+constexpr double kA = 0.0311, kB = -0.048, kC = 0.0020, kD = -0.0116;
+constexpr double kRhoFloor = 1e-14;
+}  // namespace
+
+XcEnergyDensity lda_xc(double rho) {
+  XcEnergyDensity out;
+  if (rho < kRhoFloor) return out;
+
+  // Slater exchange.
+  const double cx = -0.75 * std::cbrt(3.0 / M_PI);
+  const double ex = cx * std::cbrt(rho);
+  const double vx = (4.0 / 3.0) * ex;
+
+  // Perdew-Zunger correlation via the Wigner-Seitz radius.
+  const double rs = std::cbrt(3.0 / (4.0 * M_PI * rho));
+  double ec, vc;
+  if (rs >= 1.0) {
+    const double sq = std::sqrt(rs);
+    const double den = 1.0 + kBeta1 * sq + kBeta2 * rs;
+    ec = kGamma / den;
+    vc = ec * (1.0 + (7.0 / 6.0) * kBeta1 * sq + (4.0 / 3.0) * kBeta2 * rs) / den;
+  } else {
+    const double ln = std::log(rs);
+    ec = kA * ln + kB + kC * rs * ln + kD * rs;
+    vc = kA * ln + (kB - kA / 3.0) + (2.0 / 3.0) * kC * rs * ln +
+         ((2.0 * kD - kC) / 3.0) * rs;
+  }
+
+  out.exc = ex + ec;
+  out.vxc = vx + vc;
+  return out;
+}
+
+std::vector<double> lda_vxc(std::span<const double> rho) {
+  std::vector<double> v(rho.size());
+  for (std::size_t i = 0; i < rho.size(); ++i) v[i] = lda_xc(rho[i]).vxc;
+  return v;
+}
+
+double lda_exc_energy(std::span<const double> rho, double dv) {
+  double e = 0.0;
+  for (double r : rho) e += r * lda_xc(r).exc;
+  return e * dv;
+}
+
+}  // namespace rsrpa::dft

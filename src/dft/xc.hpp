@@ -1,0 +1,28 @@
+// Local density approximation exchange-correlation.
+//
+// Slater exchange plus Perdew-Zunger (1981) parametrization of the
+// Ceperley-Alder correlation energy — the baseline LDA functional whose
+// correlation energy the computed E_RPA ultimately replaces (paper SS II).
+// All quantities in Hartree atomic units; spin-unpolarized.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rsrpa::dft {
+
+struct XcEnergyDensity {
+  double exc = 0.0;  ///< energy density per electron, epsilon_xc(rho)
+  double vxc = 0.0;  ///< exchange-correlation potential d(rho exc)/d rho
+};
+
+/// LDA exchange-correlation at a single density value (rho >= 0).
+XcEnergyDensity lda_xc(double rho);
+
+/// Potential on the whole grid.
+std::vector<double> lda_vxc(std::span<const double> rho);
+
+/// Total XC energy: integral rho * epsilon_xc(rho) dv.
+double lda_exc_energy(std::span<const double> rho, double dv);
+
+}  // namespace rsrpa::dft

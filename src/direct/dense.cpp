@@ -1,0 +1,92 @@
+#include "direct/dense.hpp"
+
+#include "la/blas.hpp"
+
+namespace rsrpa::direct {
+
+la::Matrix<double> dense_hamiltonian(const ham::Hamiltonian& h) {
+  const std::size_t n = h.grid().size();
+  la::Matrix<double> dense(n, n);
+  std::vector<double> e(n, 0.0), col(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    h.apply<double>(e, col);
+    e[j] = 0.0;
+    for (std::size_t i = 0; i < n; ++i) dense(i, j) = col[i];
+  }
+  return dense;
+}
+
+la::EigResult full_diagonalization(const ham::Hamiltonian& h) {
+  return la::sym_eig(dense_hamiltonian(h));
+}
+
+la::Matrix<double> dense_chi0(const la::EigResult& eig, std::size_t n_occ,
+                              double omega, double dv) {
+  const std::size_t n = eig.values.size();
+  RSRPA_REQUIRE(n_occ >= 1 && n_occ < n && omega > 0.0);
+
+  // chi0 = sum_j D_j G_j D_j with D_j = diag(psi_j) and
+  // G_j = Q diag( 4 (lam_a - lam_j) / ((lam_a - lam_j)^2 + w^2) ) Q^T.
+  // Occupied-occupied terms cancel pairwise inside the j sum, so the full
+  // resolvent over ALL states a reproduces the occupied-unoccupied
+  // Adler-Wiser sum exactly (see DESIGN.md).
+  const la::Matrix<double>& q = eig.vectors;
+  la::Matrix<double> qt = q.transposed();
+  la::Matrix<double> chi0(n, n), scaled(n, n), g(n, n);
+
+  for (std::size_t j = 0; j < n_occ; ++j) {
+    const double lam_j = eig.values[j];
+    // scaled = Q * diag(f_a)
+    for (std::size_t a = 0; a < n; ++a) {
+      const double d = lam_j - eig.values[a];
+      const double f = 4.0 * d / (d * d + omega * omega);
+      const double* qa = &q(0, a);
+      double* sa = &scaled(0, a);
+      for (std::size_t i = 0; i < n; ++i) sa[i] = qa[i] * f;
+    }
+    la::gemm_nn(1.0, scaled, qt, 0.0, g);
+    // chi0 += D_j G D_j (element-wise outer scaling by psi_j).
+    const double* psi = &q(0, j);
+    for (std::size_t c = 0; c < n; ++c) {
+      const double pc = psi[c];
+      const double* gc = &g(0, c);
+      double* xc = &chi0(0, c);
+      for (std::size_t i = 0; i < n; ++i) xc[i] += psi[i] * gc[i] * pc;
+    }
+  }
+  // Grid-orbital convention -> continuum polarizability operator.
+  const double inv_dv = 1.0 / dv;
+  for (std::size_t c = 0; c < n; ++c)
+    for (std::size_t i = 0; i < n; ++i) chi0(i, c) *= inv_dv;
+  return chi0;
+}
+
+la::Matrix<double> dense_nu_half_chi0_nu_half(
+    const la::Matrix<double>& chi0, const poisson::KroneckerLaplacian& klap) {
+  const std::size_t n = chi0.rows();
+  RSRPA_REQUIRE(chi0.cols() == n && klap.grid().size() == n);
+  la::Matrix<double> m = chi0;
+  klap.apply_nu_sqrt_block(m);  // columns: nu^{1/2} chi0
+  m = m.transposed();
+  klap.apply_nu_sqrt_block(m);  // rows (via transpose): ... nu^{1/2}
+  // Result is symmetric up to roundoff; symmetrize for the eigensolver.
+  for (std::size_t jc = 0; jc < n; ++jc)
+    for (std::size_t i = 0; i < jc; ++i) {
+      const double avg = 0.5 * (m(i, jc) + m(jc, i));
+      m(i, jc) = avg;
+      m(jc, i) = avg;
+    }
+  return m;
+}
+
+std::vector<double> nu_chi0_spectrum(const la::EigResult& eig,
+                                     std::size_t n_occ, double omega,
+                                     const poisson::KroneckerLaplacian& klap,
+                                     double dv) {
+  la::Matrix<double> chi0 = dense_chi0(eig, n_occ, omega, dv);
+  la::Matrix<double> m = dense_nu_half_chi0_nu_half(chi0, klap);
+  return la::sym_eigvals(m);
+}
+
+}  // namespace rsrpa::direct

@@ -1,0 +1,38 @@
+#include "direct/direct_rpa.hpp"
+
+#include <cmath>
+
+#include "common/timer.hpp"
+#include "rpa/erpa.hpp"
+
+namespace rsrpa::direct {
+
+DirectRpaResult compute_direct_rpa(const ham::Hamiltonian& h,
+                                   std::size_t n_occ,
+                                   const poisson::KroneckerLaplacian& klap,
+                                   int ell, bool keep_spectra) {
+  DirectRpaResult out;
+  WallTimer total;
+
+  WallTimer diag_timer;
+  la::EigResult eig = full_diagonalization(h);
+  out.diagonalization_seconds = diag_timer.seconds();
+
+  const double dv = h.grid().dv();
+  const auto quad = rpa::rpa_frequency_quadrature(ell);
+  for (const rpa::QuadPoint& q : quad) {
+    std::vector<double> spectrum =
+        nu_chi0_spectrum(eig, n_occ, q.omega, klap, dv);
+    double e_term = 0.0;
+    for (double mu : spectrum) e_term += rpa::rpa_trace_term(mu);
+    out.e_terms.push_back(e_term);
+    out.e_rpa += q.weight * e_term / (2.0 * M_PI);
+    if (keep_spectra) out.spectra.push_back(std::move(spectrum));
+  }
+
+  out.e_rpa_per_atom = out.e_rpa / static_cast<double>(h.crystal().n_atoms());
+  out.total_seconds = total.seconds();
+  return out;
+}
+
+}  // namespace rsrpa::direct

@@ -1,0 +1,38 @@
+#include "grid/fd.hpp"
+
+#include <cmath>
+
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+
+namespace rsrpa::grid {
+
+std::vector<double> fd_coefficients(int radius) {
+  RSRPA_REQUIRE(radius >= 1);
+  const std::size_t r = static_cast<std::size_t>(radius);
+  // Moment conditions on even monomials x^{2m}, m = 0..r:
+  //   m = 0:     c_0 + 2 sum_k c_k            = 0
+  //   m = 1:         2 sum_k c_k k^2          = 2
+  //   m = 2..r:      2 sum_k c_k k^{2m}       = 0
+  la::Matrix<double> a(r + 1, r + 1);
+  std::vector<double> rhs(r + 1, 0.0);
+  a(0, 0) = 1.0;
+  for (std::size_t k = 1; k <= r; ++k) a(0, k) = 2.0;
+  for (std::size_t m = 1; m <= r; ++m)
+    for (std::size_t k = 1; k <= r; ++k)
+      a(m, k) = 2.0 * std::pow(static_cast<double>(k), 2.0 * m);
+  rhs[1] = 2.0;
+
+  la::Lu<double> lu(std::move(a));
+  lu.solve_inplace(rhs);
+  return rhs;  // rhs now holds c_0..c_r
+}
+
+double fd_symbol(const std::vector<double>& coeffs, double theta) {
+  double sigma = coeffs[0];
+  for (std::size_t k = 1; k < coeffs.size(); ++k)
+    sigma += 2.0 * coeffs[k] * std::cos(k * theta);
+  return sigma;
+}
+
+}  // namespace rsrpa::grid

@@ -1,0 +1,25 @@
+// High-order central finite difference coefficients.
+//
+// The paper's Hamiltonian uses a six-axis (6r+1)-point stencil of radius r
+// for the Laplacian. fd_coefficients(r) returns c_0..c_r such that
+//
+//   f''(0) ~ (1/h^2) [ c_0 f(0) + sum_{k=1}^{r} c_k (f(kh) + f(-kh)) ]
+//
+// exact for polynomials up to degree 2r+1 (order-2r accurate). The
+// coefficients are obtained by solving the small moment system with the
+// library's own LU, which is robust for any radius used in practice.
+#pragma once
+
+#include <vector>
+
+namespace rsrpa::grid {
+
+/// Central second-derivative coefficients of radius r (unit spacing).
+std::vector<double> fd_coefficients(int radius);
+
+/// Symbol of the periodic 1D FD Laplacian at angular frequency theta:
+/// sigma(theta) = c_0 + 2 sum_k c_k cos(k theta). Non-positive for all
+/// theta; zero only at theta = 0. Used by tests and by spectrum bounds.
+double fd_symbol(const std::vector<double>& coeffs, double theta);
+
+}  // namespace rsrpa::grid

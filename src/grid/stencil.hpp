@@ -1,0 +1,167 @@
+// Matrix-free high-order finite difference Laplacian.
+//
+// The six-axis (6r+1)-point stencil of the paper, applied with periodic
+// boundary conditions. Following the arithmetic-intensity analysis of
+// paper SS III-C, the block interface applies the stencil to ONE input
+// vector at a time (apply_block); the simultaneous multi-vector variant
+// (apply_block_simultaneous) is retained solely so the A1 ablation bench
+// can measure the difference the paper argues about.
+//
+// Template methods cover both real grid functions (DFT, Poisson checks)
+// and complex ones (Sternheimer solves): the complex-shifted Hamiltonian
+// applies this operator to complex blocks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grid/fd.hpp"
+#include "grid/grid.hpp"
+#include "la/matrix.hpp"
+
+namespace rsrpa::grid {
+
+class StencilLaplacian {
+ public:
+  StencilLaplacian(Grid3D g, int radius)
+      : grid_(g),
+        radius_(radius),
+        coeffs_(fd_coefficients(radius)),
+        wrap_x_(make_wrap(g.nx(), radius)),
+        wrap_y_(make_wrap(g.ny(), radius)),
+        wrap_z_(make_wrap(g.nz(), radius)) {
+    const double ihx2 = 1.0 / (g.hx() * g.hx());
+    const double ihy2 = 1.0 / (g.hy() * g.hy());
+    const double ihz2 = 1.0 / (g.hz() * g.hz());
+    cx_.resize(radius_ + 1);
+    cy_.resize(radius_ + 1);
+    cz_.resize(radius_ + 1);
+    for (int k = 0; k <= radius_; ++k) {
+      cx_[k] = coeffs_[k] * ihx2;
+      cy_[k] = coeffs_[k] * ihy2;
+      cz_[k] = coeffs_[k] * ihz2;
+    }
+    diag_ = cx_[0] + cy_[0] + cz_[0];
+  }
+
+  [[nodiscard]] const Grid3D& grid() const { return grid_; }
+  [[nodiscard]] int radius() const { return radius_; }
+  /// Diagonal entry of the discrete Laplacian (constant on a uniform grid).
+  [[nodiscard]] double diagonal() const { return diag_; }
+  /// Raw unit-spacing coefficients c_0..c_r.
+  [[nodiscard]] const std::vector<double>& coefficients() const {
+    return coeffs_;
+  }
+
+  /// Most negative eigenvalue of the periodic FD Laplacian, from the
+  /// separable symbol. Used for Chebyshev bounds on H's spectrum.
+  [[nodiscard]] double min_eigenvalue_bound() const;
+
+  /// out = Laplacian(in) for a single grid function.
+  template <typename T>
+  void apply(std::span<const T> in, std::span<T> out) const {
+    RSRPA_REQUIRE(in.size() == grid_.size() && out.size() == grid_.size());
+    const std::size_t nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+    const int r = radius_;
+    const std::size_t* wx = wrap_x_.data() + r;
+    const std::size_t* wy = wrap_y_.data() + r;
+    const std::size_t* wz = wrap_z_.data() + r;
+#pragma omp parallel for schedule(static)
+    for (std::size_t iz = 0; iz < nz; ++iz) {
+      for (std::size_t iy = 0; iy < ny; ++iy) {
+        const std::size_t base = nx * (iy + ny * iz);
+        // z and y neighbor plane/row offsets are shared across the x row.
+        for (std::size_t ix = 0; ix < nx; ++ix) {
+          T sum = static_cast<T>(diag_) * in[base + ix];
+          for (int k = 1; k <= r; ++k) {
+            sum += static_cast<T>(cx_[k]) *
+                   (in[base + wx[static_cast<long>(ix) + k]] +
+                    in[base + wx[static_cast<long>(ix) - k]]);
+            sum += static_cast<T>(cy_[k]) *
+                   (in[ix + nx * (wy[static_cast<long>(iy) + k] + ny * iz)] +
+                    in[ix + nx * (wy[static_cast<long>(iy) - k] + ny * iz)]);
+            sum += static_cast<T>(cz_[k]) *
+                   (in[ix + nx * (iy + ny * wz[static_cast<long>(iz) + k])] +
+                    in[ix + nx * (iy + ny * wz[static_cast<long>(iz) - k])]);
+          }
+          out[base + ix] = sum;
+        }
+      }
+    }
+  }
+
+  /// Column-at-a-time block apply (the paper's preferred schedule).
+  template <typename T>
+  void apply_block(const la::Matrix<T>& in, la::Matrix<T>& out) const {
+    RSRPA_REQUIRE(in.rows() == grid_.size() && out.rows() == in.rows() &&
+                  out.cols() == in.cols());
+    for (std::size_t j = 0; j < in.cols(); ++j) apply<T>(in.col(j), out.col(j));
+  }
+
+  /// Simultaneous multi-vector apply: iterates grid points in the outer
+  /// loops and vectors innermost. Kept for the SS III-C ablation; the
+  /// working set grows by a factor s, which is exactly the effect the
+  /// paper's fast-memory model predicts will hurt.
+  template <typename T>
+  void apply_block_simultaneous(const la::Matrix<T>& in,
+                                la::Matrix<T>& out) const {
+    RSRPA_REQUIRE(in.rows() == grid_.size() && out.rows() == in.rows() &&
+                  out.cols() == in.cols());
+    const std::size_t nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+    const std::size_t s = in.cols();
+    const std::size_t n = grid_.size();
+    const int r = radius_;
+    const std::size_t* wx = wrap_x_.data() + r;
+    const std::size_t* wy = wrap_y_.data() + r;
+    const std::size_t* wz = wrap_z_.data() + r;
+    const T* pin = in.data();
+    T* pout = out.data();
+#pragma omp parallel for schedule(static)
+    for (std::size_t iz = 0; iz < nz; ++iz) {
+      for (std::size_t iy = 0; iy < ny; ++iy) {
+        for (std::size_t ix = 0; ix < nx; ++ix) {
+          const std::size_t p = ix + nx * (iy + ny * iz);
+          for (std::size_t j = 0; j < s; ++j)
+            pout[p + j * n] = static_cast<T>(diag_) * pin[p + j * n];
+          for (int k = 1; k <= r; ++k) {
+            const std::size_t xp = wx[static_cast<long>(ix) + k] + nx * (iy + ny * iz);
+            const std::size_t xm = wx[static_cast<long>(ix) - k] + nx * (iy + ny * iz);
+            const std::size_t yp = ix + nx * (wy[static_cast<long>(iy) + k] + ny * iz);
+            const std::size_t ym = ix + nx * (wy[static_cast<long>(iy) - k] + ny * iz);
+            const std::size_t zp = ix + nx * (iy + ny * wz[static_cast<long>(iz) + k]);
+            const std::size_t zm = ix + nx * (iy + ny * wz[static_cast<long>(iz) - k]);
+            for (std::size_t j = 0; j < s; ++j) {
+              const std::size_t o = j * n;
+              pout[p + o] += static_cast<T>(cx_[k]) * (pin[xp + o] + pin[xm + o]) +
+                             static_cast<T>(cy_[k]) * (pin[yp + o] + pin[ym + o]) +
+                             static_cast<T>(cz_[k]) * (pin[zp + o] + pin[zm + o]);
+            }
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  static std::vector<std::size_t> make_wrap(std::size_t n, int r) {
+    // Table of size n + 2r mapping shifted position i-r (i in [0, n+2r))
+    // to its periodic image; indexed as wrap[r + q] for q in [-r, n+r).
+    std::vector<std::size_t> w(n + 2 * static_cast<std::size_t>(r));
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      long q = static_cast<long>(i) - r;
+      const long nn = static_cast<long>(n);
+      q = ((q % nn) + nn) % nn;
+      w[i] = static_cast<std::size_t>(q);
+    }
+    return w;
+  }
+
+  Grid3D grid_;
+  int radius_;
+  std::vector<double> coeffs_;
+  std::vector<std::size_t> wrap_x_, wrap_y_, wrap_z_;
+  std::vector<double> cx_, cy_, cz_;
+  double diag_ = 0.0;
+};
+
+}  // namespace rsrpa::grid

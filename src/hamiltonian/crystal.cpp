@@ -1,0 +1,89 @@
+#include "hamiltonian/crystal.hpp"
+
+#include <cmath>
+
+namespace rsrpa::ham {
+
+namespace {
+
+double wrap_into_cell(double x, double l) {
+  x = std::fmod(x, l);
+  if (x < 0) x += l;
+  return x;
+}
+
+}  // namespace
+
+Crystal::Crystal(std::vector<Atom> atoms, double lx, double ly, double lz)
+    : atoms_(std::move(atoms)), l_{lx, ly, lz} {
+  RSRPA_REQUIRE(!atoms_.empty());
+  for (Atom& at : atoms_)
+    for (int d = 0; d < 3; ++d) at.pos[d] = wrap_into_cell(at.pos[d], l_[d]);
+}
+
+void Crystal::rebuild_bonds(double nn_distance, double factor) {
+  bonds_.clear();
+  const double cutoff = nn_distance * factor;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    for (std::size_t j = i + 1; j < atoms_.size(); ++j) {
+      const double dx =
+          grid::Grid3D::min_image(atoms_[j].pos[0] - atoms_[i].pos[0], l_[0]);
+      const double dy =
+          grid::Grid3D::min_image(atoms_[j].pos[1] - atoms_[i].pos[1], l_[1]);
+      const double dz =
+          grid::Grid3D::min_image(atoms_[j].pos[2] - atoms_[i].pos[2], l_[2]);
+      const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+      if (dist <= cutoff) {
+        Bond b;
+        b.a = i;
+        b.b = j;
+        // Midpoint of the minimum-image displacement, wrapped into cell.
+        b.mid = {wrap_into_cell(atoms_[i].pos[0] + 0.5 * dx, l_[0]),
+                 wrap_into_cell(atoms_[i].pos[1] + 0.5 * dy, l_[1]),
+                 wrap_into_cell(atoms_[i].pos[2] + 0.5 * dz, l_[2])};
+        bonds_.push_back(b);
+      }
+    }
+  }
+}
+
+void Crystal::remove_atom(std::size_t i) {
+  RSRPA_REQUIRE(i < atoms_.size());
+  atoms_.erase(atoms_.begin() + static_cast<std::ptrdiff_t>(i));
+  bonds_.clear();  // caller must rebuild_bonds()
+}
+
+double diamond_nn_distance(double a) { return a * std::sqrt(3.0) / 4.0; }
+
+Crystal make_silicon_chain(std::size_t ncells, double perturbation, Rng& rng,
+                           double a) {
+  RSRPA_REQUIRE(ncells >= 1);
+  // Fractional coordinates of the 8-atom conventional diamond cell.
+  static constexpr std::array<std::array<double, 3>, 8> kFrac = {{
+      {0.00, 0.00, 0.00},
+      {0.50, 0.50, 0.00},
+      {0.50, 0.00, 0.50},
+      {0.00, 0.50, 0.50},
+      {0.25, 0.25, 0.25},
+      {0.75, 0.75, 0.25},
+      {0.75, 0.25, 0.75},
+      {0.25, 0.75, 0.75},
+  }};
+  std::vector<Atom> atoms;
+  atoms.reserve(8 * ncells);
+  for (std::size_t cell = 0; cell < ncells; ++cell) {
+    for (const auto& f : kFrac) {
+      Atom at;
+      at.pos = {f[0] * a + rng.uniform(-perturbation, perturbation) * a,
+                f[1] * a + rng.uniform(-perturbation, perturbation) * a,
+                (f[2] + static_cast<double>(cell)) * a +
+                    rng.uniform(-perturbation, perturbation) * a};
+      atoms.push_back(at);
+    }
+  }
+  Crystal crystal(std::move(atoms), a, a, a * static_cast<double>(ncells));
+  crystal.rebuild_bonds(diamond_nn_distance(a));
+  return crystal;
+}
+
+}  // namespace rsrpa::ham

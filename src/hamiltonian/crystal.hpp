@@ -1,0 +1,74 @@
+// Atomic structure of the experimental systems.
+//
+// The paper's systems are 8-atom diamond-cubic silicon cells (lattice
+// constant a = 10.26 Bohr), replicated 1..5 times along z, with atom
+// positions randomly perturbed by a fraction of the lattice constant
+// (Table III). Crystal carries the atoms and the covalent bond topology;
+// the model pseudopotential places its dominant attractive wells at the
+// BOND CENTERS (a bond-charge model), which pins the number of occupied
+// orbitals at two per atom — exactly the n_s of Table III — and opens a
+// band gap at that filling, reproducing the spectral structure the
+// Sternheimer systems inherit from real silicon.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "grid/grid.hpp"
+
+namespace rsrpa::ham {
+
+struct Atom {
+  std::array<double, 3> pos;  ///< Cartesian, Bohr
+};
+
+struct Bond {
+  std::size_t a, b;           ///< atom indices
+  std::array<double, 3> mid;  ///< periodic midpoint, Bohr
+};
+
+class Crystal {
+ public:
+  Crystal(std::vector<Atom> atoms, double lx, double ly, double lz);
+
+  [[nodiscard]] const std::vector<Atom>& atoms() const { return atoms_; }
+  [[nodiscard]] const std::vector<Bond>& bonds() const { return bonds_; }
+  [[nodiscard]] std::size_t n_atoms() const { return atoms_.size(); }
+  [[nodiscard]] double lx() const { return l_[0]; }
+  [[nodiscard]] double ly() const { return l_[1]; }
+  [[nodiscard]] double lz() const { return l_[2]; }
+
+  /// Number of doubly-occupied Kohn-Sham orbitals: 4 valence electrons
+  /// per Si atom, 2 electrons per orbital.
+  [[nodiscard]] std::size_t n_occupied() const { return 2 * atoms_.size(); }
+
+  /// Recompute the bond list: pairs within `factor` times the ideal
+  /// diamond nearest-neighbor distance (minimum image).
+  void rebuild_bonds(double nn_distance, double factor = 1.15);
+
+  /// Remove atom `i` (and, on rebuild, its bonds) — used to create the
+  /// vacancy system of paper SS IV-A.
+  void remove_atom(std::size_t i);
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<Bond> bonds_;
+  std::array<double, 3> l_;
+};
+
+/// Diamond-cubic silicon lattice constant used throughout (Bohr).
+inline constexpr double kSiLatticeConstant = 10.26;
+
+/// Ideal nearest-neighbor distance in diamond: a * sqrt(3) / 4.
+double diamond_nn_distance(double a);
+
+/// Build an 8*ncells-atom silicon chain: one conventional diamond cell
+/// replicated `ncells` times along z, positions perturbed uniformly by
+/// +-`perturbation` * a in each Cartesian direction (paper SS IV-A uses a
+/// small fraction of the lattice constant).
+Crystal make_silicon_chain(std::size_t ncells, double perturbation, Rng& rng,
+                           double a = kSiLatticeConstant);
+
+}  // namespace rsrpa::ham

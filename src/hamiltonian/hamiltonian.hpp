@@ -1,0 +1,96 @@
+// The Kohn-Sham Hamiltonian H = -1/2 Laplacian + V_loc + X Gamma X^H.
+//
+// This is the coefficient operator of everything downstream: the ground
+// state eigenproblem (CheFSI), and the complex-shifted Sternheimer systems
+// (H - lambda_j I + i omega_k I) whose complex-symmetric structure drives
+// the paper's block COCG solver. The Laplacian is matrix-free (stencil),
+// the local potential diagonal, and the nonlocal part a sparse low-rank
+// outer product — the exact structure paper SS III-B describes.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "grid/stencil.hpp"
+#include "hamiltonian/crystal.hpp"
+#include "hamiltonian/nonlocal.hpp"
+#include "hamiltonian/potential.hpp"
+#include "la/matrix.hpp"
+
+namespace rsrpa::ham {
+
+using la::cplx;
+
+class Hamiltonian {
+ public:
+  /// Construct with the model pseudopotential evaluated from `crystal`.
+  Hamiltonian(const grid::Grid3D& g, int fd_radius, Crystal crystal,
+              ModelParams params);
+
+  [[nodiscard]] const grid::Grid3D& grid() const { return lap_.grid(); }
+  [[nodiscard]] const grid::StencilLaplacian& laplacian() const { return lap_; }
+  [[nodiscard]] const Crystal& crystal() const { return crystal_; }
+  [[nodiscard]] const ModelParams& params() const { return params_; }
+  [[nodiscard]] const NonlocalProjectors& nonlocal() const { return nonlocal_; }
+
+  [[nodiscard]] const std::vector<double>& local_potential() const {
+    return v_loc_;
+  }
+  /// Replace the local potential (the SCF loop updates V_eff in place).
+  void set_local_potential(std::vector<double> v);
+
+  /// out = H in.
+  template <typename T>
+  void apply(std::span<const T> in, std::span<T> out) const {
+    lap_.apply<T>(in, out);
+    const std::size_t n = in.size();
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = static_cast<T>(-0.5) * out[i] + static_cast<T>(v_loc_[i]) * in[i];
+    nonlocal_.apply_add<T>(in, out);
+  }
+
+  /// Column-at-a-time block apply (paper SS III-C schedule).
+  template <typename T>
+  void apply_block(const la::Matrix<T>& in, la::Matrix<T>& out) const {
+    RSRPA_REQUIRE(in.rows() == grid().size() && out.rows() == in.rows() &&
+                  out.cols() == in.cols());
+    for (std::size_t j = 0; j < in.cols(); ++j) apply<T>(in.col(j), out.col(j));
+  }
+
+  /// out = (H - lambda I + i omega I) in — the Sternheimer coefficient
+  /// operator A_{j,k}, complex symmetric because H is real symmetric.
+  void apply_shifted(std::span<const cplx> in, std::span<cplx> out,
+                     double lambda, double omega) const {
+    apply<cplx>(in, out);
+    const cplx shift{-lambda, omega};
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] += shift * in[i];
+  }
+
+  void apply_shifted_block(const la::Matrix<cplx>& in, la::Matrix<cplx>& out,
+                           double lambda, double omega) const {
+    RSRPA_REQUIRE(in.rows() == grid().size() && out.rows() == in.rows() &&
+                  out.cols() == in.cols());
+    for (std::size_t j = 0; j < in.cols(); ++j)
+      apply_shifted(in.col(j), out.col(j), lambda, omega);
+  }
+
+  /// Rigorous spectral bounds: kinetic term in [0, -0.5*lap_min], local
+  /// potential in [min V, max V], nonlocal PSD with exact norm.
+  [[nodiscard]] double upper_bound() const { return upper_bound_; }
+  [[nodiscard]] double lower_bound() const { return lower_bound_; }
+
+ private:
+  void refresh_bounds();
+
+  grid::StencilLaplacian lap_;
+  Crystal crystal_;
+  ModelParams params_;
+  std::vector<double> v_loc_;
+  NonlocalProjectors nonlocal_;
+  double upper_bound_ = 0.0;
+  double lower_bound_ = 0.0;
+};
+
+}  // namespace rsrpa::ham

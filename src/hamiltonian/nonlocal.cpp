@@ -1,0 +1,77 @@
+#include "hamiltonian/nonlocal.hpp"
+
+#include <cmath>
+
+#include "la/eig.hpp"
+
+namespace rsrpa::ham {
+
+NonlocalProjectors::NonlocalProjectors(const grid::Grid3D& g,
+                                       const Crystal& crystal,
+                                       const ModelParams& params)
+    : dv_(g.dv()) {
+  if (params.proj_gamma == 0.0) return;
+  const double inv2s2 = 1.0 / (2.0 * params.proj_sigma * params.proj_sigma);
+  const double rc2 = params.proj_cutoff * params.proj_cutoff;
+  projectors_.reserve(crystal.n_atoms());
+  for (const Atom& at : crystal.atoms()) {
+    Projector p;
+    p.gamma = params.proj_gamma;
+    for (std::size_t iz = 0; iz < g.nz(); ++iz)
+      for (std::size_t iy = 0; iy < g.ny(); ++iy)
+        for (std::size_t ix = 0; ix < g.nx(); ++ix) {
+          const auto x = g.coords(ix, iy, iz);
+          const double dx = grid::Grid3D::min_image(x[0] - at.pos[0], g.lx());
+          const double dy = grid::Grid3D::min_image(x[1] - at.pos[1], g.ly());
+          const double dz = grid::Grid3D::min_image(x[2] - at.pos[2], g.lz());
+          const double r2 = dx * dx + dy * dy + dz * dz;
+          if (r2 > rc2) continue;
+          p.idx.push_back(g.index(ix, iy, iz));
+          p.val.push_back(std::exp(-r2 * inv2s2));
+        }
+    // Normalize so integral p^2 dv = 1 and gamma has energy units.
+    double norm2 = 0.0;
+    for (double v : p.val) norm2 += v * v;
+    norm2 *= dv_;
+    RSRPA_REQUIRE_MSG(norm2 > 0.0, "projector support contains no grid points");
+    const double inv_norm = 1.0 / std::sqrt(norm2);
+    for (double& v : p.val) v *= inv_norm;
+    projectors_.push_back(std::move(p));
+  }
+}
+
+double NonlocalProjectors::operator_norm() const {
+  const std::size_t np = projectors_.size();
+  if (np == 0) return 0.0;
+  // || sum_a gamma p_a p_a^T || equals the largest eigenvalue of the
+  // gamma-weighted projector Gram matrix G_ab = sqrt(g_a g_b) <p_a, p_b>.
+  la::Matrix<double> gram(np, np);
+  for (std::size_t a = 0; a < np; ++a) {
+    for (std::size_t b = a; b < np; ++b) {
+      // Sparse dot over the index intersection (indices are sorted by
+      // construction order over the grid, i.e. ascending).
+      double sum = 0.0;
+      const Projector& pa = projectors_[a];
+      const Projector& pb = projectors_[b];
+      std::size_t i = 0, j = 0;
+      while (i < pa.idx.size() && j < pb.idx.size()) {
+        if (pa.idx[i] < pb.idx[j])
+          ++i;
+        else if (pa.idx[i] > pb.idx[j])
+          ++j;
+        else {
+          sum += pa.val[i] * pb.val[j];
+          ++i;
+          ++j;
+        }
+      }
+      sum *= dv_ * std::sqrt(pa.gamma * pb.gamma);
+      gram(a, b) = sum;
+      gram(b, a) = sum;
+    }
+  }
+  const std::vector<double> vals = la::sym_eigvals(gram);
+  return std::max(0.0, vals.back());
+}
+
+}  // namespace rsrpa::ham

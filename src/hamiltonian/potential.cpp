@@ -1,0 +1,37 @@
+#include "hamiltonian/potential.hpp"
+
+#include <cmath>
+
+namespace rsrpa::ham {
+
+namespace {
+
+void add_gaussian_well(const grid::Grid3D& g, const std::array<double, 3>& c,
+                       double depth, double sigma, std::vector<double>& v) {
+  const double inv2s2 = 1.0 / (2.0 * sigma * sigma);
+  for (std::size_t iz = 0; iz < g.nz(); ++iz)
+    for (std::size_t iy = 0; iy < g.ny(); ++iy)
+      for (std::size_t ix = 0; ix < g.nx(); ++ix) {
+        const auto p = g.coords(ix, iy, iz);
+        const double dx = grid::Grid3D::min_image(p[0] - c[0], g.lx());
+        const double dy = grid::Grid3D::min_image(p[1] - c[1], g.ly());
+        const double dz = grid::Grid3D::min_image(p[2] - c[2], g.lz());
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        v[g.index(ix, iy, iz)] -= depth * std::exp(-r2 * inv2s2);
+      }
+}
+
+}  // namespace
+
+std::vector<double> build_local_potential(const grid::Grid3D& g,
+                                          const Crystal& crystal,
+                                          const ModelParams& params) {
+  std::vector<double> v(g.size(), 0.0);
+  for (const Atom& at : crystal.atoms())
+    add_gaussian_well(g, at.pos, params.v_atom, params.sigma_atom, v);
+  for (const Bond& b : crystal.bonds())
+    add_gaussian_well(g, b.mid, params.v_bond, params.sigma_bond, v);
+  return v;
+}
+
+}  // namespace rsrpa::ham

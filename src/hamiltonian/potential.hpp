@@ -1,0 +1,37 @@
+// Model pseudopotential (substitution for SPARC's Si pseudopotential).
+//
+// The local part is a bond-charge model: strong attractive Gaussian wells
+// at the covalent bond centers plus weaker wells at the atom sites. At
+// half filling of the bond manifold (two orbitals per atom) this produces
+// a gapped occupied spectrum, matching the spectral structure the paper's
+// Sternheimer systems inherit from silicon. The nonlocal part (one
+// normalized Gaussian s-projector per atom with positive strength gamma)
+// supplies the sparse outer-product term X X^H that paper SS III-B names
+// as the second main term of the Hamiltonian.
+#pragma once
+
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "hamiltonian/crystal.hpp"
+
+namespace rsrpa::ham {
+
+struct ModelParams {
+  double v_atom = 0.35;      ///< atom-site well depth (Ha)
+  double sigma_atom = 1.2;   ///< atom-site well width (Bohr)
+  double v_bond = 1.40;      ///< bond-center well depth (Ha)
+  double sigma_bond = 1.0;   ///< bond-center well width (Bohr)
+  double proj_gamma = 0.8;   ///< nonlocal projector strength (Ha)
+  double proj_sigma = 1.0;   ///< projector width (Bohr)
+  double proj_cutoff = 3.5;  ///< projector support radius (Bohr)
+};
+
+/// Sample the local potential on the grid (minimum-image Gaussians; the
+/// widths are far below half the cell so periodic image sums truncate at
+/// the nearest image).
+std::vector<double> build_local_potential(const grid::Grid3D& g,
+                                          const Crystal& crystal,
+                                          const ModelParams& params);
+
+}  // namespace rsrpa::ham

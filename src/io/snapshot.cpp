@@ -1,0 +1,139 @@
+#include "io/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace rsrpa::io {
+
+namespace {
+
+constexpr char kMatrixMagic[8] = {'R', 'S', 'R', 'P', 'A', 'B', '0', '1'};
+constexpr char kKsMagic[8] = {'R', 'S', 'R', 'P', 'A', 'K', '0', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  return v;
+}
+
+void write_doubles(std::ostream& out, const double* p, std::size_t n) {
+  out.write(reinterpret_cast<const char*>(p),
+            static_cast<std::streamsize>(n * sizeof(double)));
+}
+
+void read_doubles(std::istream& in, double* p, std::size_t n) {
+  in.read(reinterpret_cast<char*>(p),
+          static_cast<std::streamsize>(n * sizeof(double)));
+}
+
+void write_matrix_body(std::ostream& out, const la::Matrix<double>& m) {
+  write_u64(out, m.rows());
+  write_u64(out, m.cols());
+  write_doubles(out, m.data(), m.size());
+}
+
+la::Matrix<double> read_matrix_body(std::istream& in) {
+  const std::uint64_t rows = read_u64(in), cols = read_u64(in);
+  RSRPA_REQUIRE_MSG(in.good() && rows > 0 && cols > 0 &&
+                        rows * cols < (1ull << 34),
+                    "snapshot: implausible matrix shape");
+  la::Matrix<double> m(static_cast<std::size_t>(rows),
+                       static_cast<std::size_t>(cols));
+  read_doubles(in, m.data(), m.size());
+  RSRPA_REQUIRE_MSG(in.good(), "snapshot: truncated matrix payload");
+  return m;
+}
+
+void check_magic(std::istream& in, const char (&magic)[8],
+                 const std::string& path) {
+  char buf[8] = {};
+  in.read(buf, 8);
+  RSRPA_REQUIRE_MSG(in.good() && std::memcmp(buf, magic, 8) == 0,
+                    "snapshot: bad magic in " + path);
+}
+
+}  // namespace
+
+void save_matrix(const std::string& path, const la::Matrix<double>& m) {
+  std::ofstream out(path, std::ios::binary);
+  RSRPA_REQUIRE_MSG(out.good(), "cannot open " + path + " for writing");
+  out.write(kMatrixMagic, 8);
+  write_matrix_body(out, m);
+  RSRPA_REQUIRE_MSG(out.good(), "write failed for " + path);
+}
+
+la::Matrix<double> load_matrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RSRPA_REQUIRE_MSG(in.good(), "cannot open " + path);
+  check_magic(in, kMatrixMagic, path);
+  return read_matrix_body(in);
+}
+
+void save_ks_snapshot(const std::string& path, const dft::KsSystem& sys) {
+  const grid::Grid3D& g = sys.h->grid();
+  std::ofstream out(path, std::ios::binary);
+  RSRPA_REQUIRE_MSG(out.good(), "cannot open " + path + " for writing");
+  out.write(kKsMagic, 8);
+  write_u64(out, g.nx());
+  write_u64(out, g.ny());
+  write_u64(out, g.nz());
+  const double geom[3] = {g.lx(), g.ly(), g.lz()};
+  write_doubles(out, geom, 3);
+  const double gap[2] = {sys.homo, sys.lumo};
+  write_doubles(out, gap, 2);
+  write_u64(out, sys.eigenvalues.size());
+  write_doubles(out, sys.eigenvalues.data(), sys.eigenvalues.size());
+  write_matrix_body(out, sys.orbitals);
+  RSRPA_REQUIRE_MSG(out.good(), "write failed for " + path);
+}
+
+KsSnapshot load_ks_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RSRPA_REQUIRE_MSG(in.good(), "cannot open " + path);
+  check_magic(in, kKsMagic, path);
+  KsSnapshot snap;
+  snap.nx = static_cast<std::size_t>(read_u64(in));
+  snap.ny = static_cast<std::size_t>(read_u64(in));
+  snap.nz = static_cast<std::size_t>(read_u64(in));
+  double geom[3] = {};
+  read_doubles(in, geom, 3);
+  snap.lx = geom[0];
+  snap.ly = geom[1];
+  snap.lz = geom[2];
+  double gap[2] = {};
+  read_doubles(in, gap, 2);
+  snap.homo = gap[0];
+  snap.lumo = gap[1];
+  const std::uint64_t ns = read_u64(in);
+  RSRPA_REQUIRE_MSG(in.good() && ns > 0 && ns < (1ull << 24),
+                    "snapshot: implausible orbital count");
+  snap.eigenvalues.resize(static_cast<std::size_t>(ns));
+  read_doubles(in, snap.eigenvalues.data(), snap.eigenvalues.size());
+  snap.orbitals = read_matrix_body(in);
+  RSRPA_REQUIRE_MSG(
+      snap.orbitals.cols() == snap.eigenvalues.size() &&
+          snap.orbitals.rows() == snap.nx * snap.ny * snap.nz,
+      "snapshot: inconsistent shapes in " + path);
+  return snap;
+}
+
+dft::KsSystem restore_ks_system(const KsSnapshot& snap,
+                                std::shared_ptr<const ham::Hamiltonian> h) {
+  const grid::Grid3D& g = h->grid();
+  RSRPA_REQUIRE_MSG(g.nx() == snap.nx && g.ny() == snap.ny &&
+                        g.nz() == snap.nz,
+                    "snapshot grid does not match the Hamiltonian grid");
+  dft::KsSystem sys;
+  sys.h = std::move(h);
+  sys.eigenvalues = snap.eigenvalues;
+  sys.orbitals = snap.orbitals;
+  sys.homo = snap.homo;
+  sys.lumo = snap.lumo;
+  return sys;
+}
+
+}  // namespace rsrpa::io

@@ -1,0 +1,54 @@
+// Binary snapshots of the KS-DFT -> RPA handoff.
+//
+// The paper's workflow runs SPARC first and SAVES "the Kohn-Sham occupied
+// orbitals, the occupied orbital energies, and the electron density",
+// which the RPA code then reads (SS IV preamble). This module provides
+// that handoff: a versioned little-endian binary format for dense
+// matrices, grid functions and the KsSystem bundle, so the expensive
+// ground-state solve can be done once and reused across RPA parameter
+// studies.
+//
+// Format: magic "RSRPAB01", then u64 rows, u64 cols, then rows*cols
+// doubles in column-major order. The KsSystem snapshot concatenates a
+// small header (grid dims + cell lengths + spectral data) with the
+// orbital matrix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dft/ks_system.hpp"
+#include "grid/grid.hpp"
+#include "la/matrix.hpp"
+
+namespace rsrpa::io {
+
+/// Write a dense real matrix. Throws Error on I/O failure.
+void save_matrix(const std::string& path, const la::Matrix<double>& m);
+
+/// Read a matrix written by save_matrix. Throws Error on malformed files.
+la::Matrix<double> load_matrix(const std::string& path);
+
+/// Everything the RPA stage needs from the prior DFT calculation, minus
+/// the Hamiltonian operator itself (rebuilt from the crystal/potential).
+struct KsSnapshot {
+  std::size_t nx = 0, ny = 0, nz = 0;
+  double lx = 0.0, ly = 0.0, lz = 0.0;
+  double homo = 0.0, lumo = 0.0;
+  std::vector<double> eigenvalues;  ///< occupied energies, ascending
+  la::Matrix<double> orbitals;      ///< n_d x n_s, grid-l2-orthonormal
+};
+
+/// Save the orbital data of a solved system.
+void save_ks_snapshot(const std::string& path, const dft::KsSystem& sys);
+
+/// Load a snapshot; validates header magic and shape consistency.
+KsSnapshot load_ks_snapshot(const std::string& path);
+
+/// Rebuild a KsSystem from a snapshot and a Hamiltonian constructed over
+/// the SAME grid (shape-checked). The caller is responsible for the
+/// Hamiltonian matching the potential the snapshot was solved in.
+dft::KsSystem restore_ks_system(const KsSnapshot& snap,
+                                std::shared_ptr<const ham::Hamiltonian> h);
+
+}  // namespace rsrpa::io

@@ -1,0 +1,169 @@
+#include "la/blas.hpp"
+
+#include <cmath>
+
+namespace rsrpa::la {
+
+namespace {
+
+// Cache-block sizes chosen so an (MB x KB) panel of A and a (KB x NB)
+// panel of B fit comfortably in L2 for double and complex<double>.
+constexpr std::size_t kMB = 64;
+constexpr std::size_t kNB = 64;
+constexpr std::size_t kKB = 256;
+
+template <typename T>
+void gemm_nn_impl(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
+                  Matrix<T>& c) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  RSRPA_REQUIRE(b.rows() == k && c.rows() == m && c.cols() == n);
+  if (beta != T{1}) {
+    if (beta == T{0})
+      c.zero();
+    else
+      for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t i = 0; i < m; ++i) c(i, j) *= beta;
+  }
+  // Column-major friendly ordering: for each (jj, kk) panel, stream down
+  // columns of C and A.
+#pragma omp parallel for schedule(static)
+  for (std::size_t jj = 0; jj < n; jj += kNB) {
+    const std::size_t jend = std::min(jj + kNB, n);
+    for (std::size_t kk = 0; kk < k; kk += kKB) {
+      const std::size_t kend = std::min(kk + kKB, k);
+      for (std::size_t j = jj; j < jend; ++j) {
+        for (std::size_t p = kk; p < kend; ++p) {
+          const T bpj = alpha * b(p, j);
+          if (bpj == T{0}) continue;
+          const T* acol = &a(0, p);
+          T* ccol = &c(0, j);
+          for (std::size_t i = 0; i < m; ++i) ccol[i] += acol[i] * bpj;
+        }
+      }
+    }
+  }
+}
+
+enum class Conj { No, Yes };
+
+template <typename T, Conj kConj>
+void gemm_tn_impl(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
+                  Matrix<T>& c) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  RSRPA_REQUIRE(b.rows() == k && c.rows() == m && c.cols() == n);
+  // Each C(i, j) is a dot product of two contiguous columns, so this shape
+  // is naturally cache-friendly; parallelize over output columns.
+#pragma omp parallel for schedule(static)
+  for (std::size_t j = 0; j < n; ++j) {
+    const T* bcol = &b(0, j);
+    for (std::size_t i = 0; i < m; ++i) {
+      const T* acol = &a(0, i);
+      T sum{};
+      if constexpr (kConj == Conj::Yes) {
+        for (std::size_t p = 0; p < k; ++p) sum += std::conj(acol[p]) * bcol[p];
+      } else {
+        for (std::size_t p = 0; p < k; ++p) sum += acol[p] * bcol[p];
+      }
+      c(i, j) = alpha * sum + (beta == T{0} ? T{} : beta * c(i, j));
+    }
+  }
+  (void)kMB;
+}
+
+template <typename T>
+double norm_fro_impl(const Matrix<T>& a) {
+  double sum = 0.0;
+  const T* p = a.data();
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::norm(p[i]);
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  RSRPA_REQUIRE(x.size() == y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+cplx dot_u(std::span<const cplx> x, std::span<const cplx> y) {
+  RSRPA_REQUIRE(x.size() == y.size());
+  cplx sum{};
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+cplx dot_c(std::span<const cplx> x, std::span<const cplx> y) {
+  RSRPA_REQUIRE(x.size() == y.size());
+  cplx sum{};
+  for (std::size_t i = 0; i < x.size(); ++i) sum += std::conj(x[i]) * y[i];
+  return sum;
+}
+
+double nrm2(std::span<const double> x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double nrm2(std::span<const cplx> x) {
+  double sum = 0.0;
+  for (const cplx& v : x) sum += std::norm(v);
+  return std::sqrt(sum);
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  RSRPA_REQUIRE(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void axpy(cplx alpha, std::span<const cplx> x, std::span<cplx> y) {
+  RSRPA_REQUIRE(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+void scal(cplx alpha, std::span<cplx> x) {
+  for (cplx& v : x) v *= alpha;
+}
+
+void gemm_nn(double alpha, const Matrix<double>& a, const Matrix<double>& b,
+             double beta, Matrix<double>& c) {
+  gemm_nn_impl(alpha, a, b, beta, c);
+}
+
+void gemm_nn(cplx alpha, const Matrix<cplx>& a, const Matrix<cplx>& b,
+             cplx beta, Matrix<cplx>& c) {
+  gemm_nn_impl(alpha, a, b, beta, c);
+}
+
+void gemm_tn(double alpha, const Matrix<double>& a, const Matrix<double>& b,
+             double beta, Matrix<double>& c) {
+  gemm_tn_impl<double, Conj::No>(alpha, a, b, beta, c);
+}
+
+void gemm_tn(cplx alpha, const Matrix<cplx>& a, const Matrix<cplx>& b,
+             cplx beta, Matrix<cplx>& c) {
+  gemm_tn_impl<cplx, Conj::No>(alpha, a, b, beta, c);
+}
+
+void gemm_hn(cplx alpha, const Matrix<cplx>& a, const Matrix<cplx>& b,
+             cplx beta, Matrix<cplx>& c) {
+  gemm_tn_impl<cplx, Conj::Yes>(alpha, a, b, beta, c);
+}
+
+double norm_fro(const Matrix<double>& a) { return norm_fro_impl(a); }
+double norm_fro(const Matrix<cplx>& a) { return norm_fro_impl(a); }
+
+double norm_max(const Matrix<double>& a) {
+  double mx = 0.0;
+  const double* p = a.data();
+  for (std::size_t i = 0; i < a.size(); ++i) mx = std::max(mx, std::abs(p[i]));
+  return mx;
+}
+
+}  // namespace rsrpa::la

@@ -1,0 +1,77 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+namespace rsrpa::la {
+
+Cholesky::Cholesky(const Matrix<double>& a) : l_(a.rows(), a.cols()) {
+  RSRPA_REQUIRE(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (!(diag > 0.0))
+      throw NumericalBreakdown("Cholesky: matrix not positive definite at row " +
+                               std::to_string(j));
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      l_(i, j) = sum / ljj;
+    }
+  }
+}
+
+void Cholesky::forward_inplace(std::span<double> b) const {
+  const std::size_t n = l_.rows();
+  RSRPA_REQUIRE(b.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= l_(i, j) * b[j];
+    b[i] = sum / l_(i, i);
+  }
+}
+
+void Cholesky::backward_t_inplace(std::span<double> b) const {
+  const std::size_t n = l_.rows();
+  RSRPA_REQUIRE(b.size() == n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= l_(j, ii) * b[j];
+    b[ii] = sum / l_(ii, ii);
+  }
+}
+
+void Cholesky::solve_inplace(std::span<double> b) const {
+  forward_inplace(b);
+  backward_t_inplace(b);
+}
+
+void Cholesky::solve_inplace(Matrix<double>& b) const {
+  for (std::size_t j = 0; j < b.cols(); ++j) solve_inplace(b.col(j));
+}
+
+void Cholesky::forward_inplace(Matrix<double>& b) const {
+  for (std::size_t j = 0; j < b.cols(); ++j) forward_inplace(b.col(j));
+}
+
+void Cholesky::backward_t_inplace(Matrix<double>& b) const {
+  for (std::size_t j = 0; j < b.cols(); ++j) backward_t_inplace(b.col(j));
+}
+
+void Cholesky::right_backward_t_inplace(Matrix<double>& c) const {
+  // Solve X L^T = C row-wise, i.e. for each row r of C: L x = r^T would be
+  // wrong; we need x L^T = r  =>  L x^T = r^T, forward substitution per row.
+  const std::size_t n = l_.rows();
+  RSRPA_REQUIRE(c.cols() == n);
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = c(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= c(i, k) * l_(j, k);
+      c(i, j) = sum / l_(j, j);
+    }
+  }
+}
+
+}  // namespace rsrpa::la

@@ -1,0 +1,41 @@
+// Cholesky factorization of symmetric positive-definite matrices.
+//
+// Used to reduce the generalized symmetric eigenproblem H_s Q = M_s Q D of
+// subspace iteration (paper Algorithm 2, line 5) to standard form, and for
+// Cholesky-QR orthonormalization inside CheFSI.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace rsrpa::la {
+
+class Cholesky {
+ public:
+  /// Factor A = L L^T (lower). Throws NumericalBreakdown if A is not
+  /// numerically positive definite.
+  explicit Cholesky(const Matrix<double>& a);
+
+  /// Solve A x = b in place.
+  void solve_inplace(std::span<double> b) const;
+  void solve_inplace(Matrix<double>& b) const;
+
+  /// In-place x <- L^{-1} x (forward substitution only).
+  void forward_inplace(std::span<double> b) const;
+  /// In-place x <- L^{-T} x (back substitution only).
+  void backward_t_inplace(std::span<double> b) const;
+
+  /// B <- L^{-1} B applied column-wise.
+  void forward_inplace(Matrix<double>& b) const;
+  /// B <- L^{-T} B applied column-wise.
+  void backward_t_inplace(Matrix<double>& b) const;
+
+  /// C <- C L^{-T} applied from the right (used in two-sided reduction).
+  void right_backward_t_inplace(Matrix<double>& c) const;
+
+  [[nodiscard]] const Matrix<double>& l() const { return l_; }
+
+ private:
+  Matrix<double> l_;
+};
+
+}  // namespace rsrpa::la

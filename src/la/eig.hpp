@@ -1,0 +1,40 @@
+// Dense symmetric eigensolvers.
+//
+// The stack is the classical EISPACK pair: Householder tridiagonalization
+// with accumulated transforms (tred2) followed by the implicit-shift QL
+// iteration (tql2). The generalized solver reduces H_s Q = M_s Q D via
+// Cholesky of M_s, exactly the reduction the paper performs with
+// ScaLAPACK in Algorithm 2 line 5 / Algorithm 6 lines 9 and 16.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace rsrpa::la {
+
+struct EigResult {
+  std::vector<double> values;  ///< ascending
+  Matrix<double> vectors;      ///< column j pairs with values[j]
+};
+
+/// Eigendecomposition of a symmetric matrix (only the lower triangle is
+/// referenced). Eigenvalues ascending, eigenvectors orthonormal.
+EigResult sym_eig(const Matrix<double>& a);
+
+/// Eigenvalues only (cheaper: no transform accumulation).
+std::vector<double> sym_eigvals(const Matrix<double>& a);
+
+/// Generalized symmetric-definite problem A x = lambda B x with B SPD.
+/// Returned vectors are B-orthonormal: X^T B X = I.
+EigResult sym_eig_gen(const Matrix<double>& a, const Matrix<double>& b);
+
+/// Eigendecomposition of a symmetric tridiagonal matrix given its diagonal
+/// `d` and subdiagonal `e` (e[i] couples rows i and i+1; e.size()==d.size()-1).
+/// Used directly by Lanczos quadrature.
+EigResult tridiag_eig(std::vector<double> d, std::vector<double> e);
+
+/// Eigenvalues of a symmetric tridiagonal matrix, ascending.
+std::vector<double> tridiag_eigvals(std::vector<double> d, std::vector<double> e);
+
+}  // namespace rsrpa::la

@@ -1,0 +1,71 @@
+#include "la/qr.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+
+namespace rsrpa::la {
+
+void cholesky_qr(Matrix<double>& v) {
+  const std::size_t s = v.cols();
+  Matrix<double> gram(s, s);
+  gemm_tn(1.0, v, v, 0.0, gram);
+  Cholesky chol(gram);  // throws NumericalBreakdown when ill-conditioned
+  // V <- V L^{-T}: apply the triangular solve from the right.
+  chol.right_backward_t_inplace(v);
+}
+
+void householder_qr(Matrix<double>& v) {
+  const std::size_t m = v.rows(), n = v.cols();
+  RSRPA_REQUIRE(m >= n);
+  // Factor: store Householder vectors in the lower trapezoid of a copy.
+  Matrix<double> a = v;
+  std::vector<double> tau(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double normx = 0.0;
+    for (std::size_t i = k; i < m; ++i) normx += a(i, k) * a(i, k);
+    normx = std::sqrt(normx);
+    if (normx == 0.0) {
+      tau[k] = 0.0;
+      continue;
+    }
+    const double alpha = (a(k, k) >= 0.0) ? -normx : normx;
+    const double vk = a(k, k) - alpha;
+    a(k, k) = alpha;
+    for (std::size_t i = k + 1; i < m; ++i) a(i, k) /= vk;
+    tau[k] = -vk / alpha;  // 2 / (v^T v) with v = [1; a(k+1:m,k)] scaling
+    // Apply reflector to trailing columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double w = a(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) w += a(i, k) * a(i, j);
+      w *= tau[k];
+      a(k, j) -= w;
+      for (std::size_t i = k + 1; i < m; ++i) a(i, j) -= a(i, k) * w;
+    }
+  }
+  // Form the thin Q by applying reflectors to the first n columns of I.
+  v.zero();
+  for (std::size_t j = 0; j < n; ++j) v(j, j) = 1.0;
+  for (std::size_t kk = n; kk-- > 0;) {
+    const std::size_t k = kk;
+    if (tau[k] == 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      double w = v(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) w += a(i, k) * v(i, j);
+      w *= tau[k];
+      v(k, j) -= w;
+      for (std::size_t i = k + 1; i < m; ++i) v(i, j) -= a(i, k) * w;
+    }
+  }
+}
+
+void orthonormalize(Matrix<double>& v) {
+  try {
+    cholesky_qr(v);
+  } catch (const NumericalBreakdown&) {
+    householder_qr(v);
+  }
+}
+
+}  // namespace rsrpa::la

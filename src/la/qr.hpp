@@ -1,0 +1,25 @@
+// Orthonormalization of tall-and-skinny blocks.
+//
+// Subspace iteration and CheFSI need to re-orthonormalize n_d x n_eig
+// blocks. Cholesky-QR (Gram matrix + Cholesky + triangular solve) is the
+// BLAS-3-rich method of choice for well-conditioned blocks; Householder
+// thin QR is the robust fallback when the Gram matrix loses definiteness.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace rsrpa::la {
+
+/// In-place Cholesky-QR: V <- Q with Q^T Q = I and range(Q) = range(V).
+/// Throws NumericalBreakdown if the Gram matrix is numerically singular
+/// (columns nearly dependent) — callers fall back to householder_qr.
+void cholesky_qr(Matrix<double>& v);
+
+/// In-place Householder thin QR: V <- Q (robust, BLAS-2-heavy).
+void householder_qr(Matrix<double>& v);
+
+/// Orthonormalize with Cholesky-QR, falling back to Householder on
+/// breakdown. This is the entry point the eigensolvers use.
+void orthonormalize(Matrix<double>& v);
+
+}  // namespace rsrpa::la

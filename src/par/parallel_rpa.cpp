@@ -1,0 +1,231 @@
+#include "par/parallel_rpa.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/eig.hpp"
+#include "la/qr.hpp"
+#include "rpa/quadrature.hpp"
+#include "solver/chebyshev.hpp"
+
+namespace rsrpa::par {
+
+namespace {
+
+// Mutable state threaded through one simulated run.
+struct RunState {
+  const rpa::NuChi0Operator* op = nullptr;
+  const ColumnPartition* part = nullptr;
+  double omega = 0.0;
+  rpa::SternheimerStats* stats = nullptr;
+  std::vector<double>* rank_seconds = nullptr;  // bucket to charge applies to
+};
+
+// Apply the operator to the full block, one rank slice at a time, timing
+// each slice into state.rank_seconds.
+void ranked_apply(RunState& st, const la::Matrix<double>& in,
+                  la::Matrix<double>& out) {
+  const ColumnPartition& part = *st.part;
+  for (std::size_t r = 0; r < part.n_ranks(); ++r) {
+    const std::size_t j0 = part.begin(r), cnt = part.count(r);
+    if (cnt == 0) continue;
+    WallTimer t;
+    la::Matrix<double> slice = in.slice_cols(j0, cnt);
+    la::Matrix<double> oslice(in.rows(), cnt);
+    st.op->apply(slice, oslice, st.omega, st.stats, nullptr);
+    out.set_cols(j0, oslice);
+    (*st.rank_seconds)[r] += t.seconds();
+  }
+}
+
+struct RrStep {
+  std::vector<double> values;
+  double error = 0.0;
+  double matmult_seconds = 0.0;
+  double eigensolve_seconds = 0.0;
+};
+
+RrStep ranked_rayleigh_ritz(RunState& st, la::Matrix<double>& v,
+                            std::vector<double>& rank_apply,
+                            std::vector<double>& rank_error) {
+  const std::size_t n = v.rows(), m = v.cols();
+  la::Matrix<double> av(n, m);
+  st.rank_seconds = &rank_apply;
+  ranked_apply(st, v, av);
+
+  RrStep out;
+  la::Matrix<double> hs(m, m), ms(m, m);
+  {
+    WallTimer t;
+    la::gemm_tn(1.0, v, av, 0.0, hs);
+    la::gemm_tn(1.0, v, v, 0.0, ms);
+    out.matmult_seconds += t.seconds();
+  }
+  for (std::size_t j = 0; j < m; ++j)
+    for (std::size_t i = 0; i < j; ++i) {
+      const double avg = 0.5 * (hs(i, j) + hs(j, i));
+      hs(i, j) = avg;
+      hs(j, i) = avg;
+    }
+
+  la::EigResult sub;
+  {
+    WallTimer t;
+    try {
+      sub = la::sym_eig_gen(hs, ms);
+    } catch (const NumericalBreakdown&) {
+      la::orthonormalize(v);
+      st.rank_seconds = &rank_apply;
+      ranked_apply(st, v, av);
+      la::gemm_tn(1.0, v, av, 0.0, hs);
+      sub = la::sym_eig(hs);
+    }
+    out.eigensolve_seconds += t.seconds();
+  }
+  out.values = sub.values;
+
+  {
+    WallTimer t;
+    la::Matrix<double> rotated(n, m);
+    la::gemm_nn(1.0, v, sub.vectors, 0.0, rotated);
+    v = std::move(rotated);
+    out.matmult_seconds += t.seconds();
+  }
+
+  // Convergence check (Eq. 7) with a fresh ranked apply.
+  st.rank_seconds = &rank_error;
+  ranked_apply(st, v, av);
+  double sum_res = 0.0, sum_d2 = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    double r2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = av(i, j) - sub.values[j] * v(i, j);
+      r2 += r * r;
+    }
+    sum_res += std::sqrt(r2);
+    sum_d2 += sub.values[j] * sub.values[j];
+  }
+  out.error =
+      sum_res / (static_cast<double>(m) * std::max(std::sqrt(sum_d2), 1e-300));
+  return out;
+}
+
+}  // namespace
+
+ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
+                                   const poisson::KroneckerLaplacian& klap,
+                                   const ParallelRpaOptions& opts) {
+  const std::size_t m = opts.rpa.n_eig;
+  const std::size_t p = opts.n_ranks;
+  RSRPA_REQUIRE(m >= 1 && p >= 1);
+  ColumnPartition part(m, p);
+
+  // Each rank caps its block size at n_eig / p (paper SS III-D).
+  rpa::RpaOptions ropts = opts.rpa;
+  if (ropts.stern.max_block == 0 ||
+      static_cast<std::size_t>(ropts.stern.max_block) > part.max_block_size())
+    ropts.stern.max_block = static_cast<int>(part.max_block_size());
+
+  rpa::NuChi0Operator op(sys, klap, ropts.stern);
+  const auto quad = rpa::rpa_frequency_quadrature(ropts.ell);
+
+  ParallelRpaResult result;
+  result.n_ranks = p;
+  result.rank_apply_seconds.assign(p, 0.0);
+  result.rank_error_seconds.assign(p, 0.0);
+
+  double matmult_seconds = 0.0, eigensolve_seconds = 0.0;
+  long error_checks = 0;
+
+  RunState st;
+  st.op = &op;
+  st.part = &part;
+  st.stats = &result.rpa.stern;
+
+  Rng rng(ropts.seed);
+  const std::size_t n = sys.n_grid();
+  la::Matrix<double> v(n, m);
+  for (std::size_t j = 0; j < m; ++j) rng.fill_uniform(v.col(j));
+
+  WallTimer total;
+  for (int k = 0; k < ropts.ell; ++k) {
+    const rpa::QuadPoint& q = quad[static_cast<std::size_t>(k)];
+    st.omega = q.omega;
+    const double tol =
+        ropts.tol_eig.empty()
+            ? 5e-4
+            : ropts.tol_eig[std::min<std::size_t>(static_cast<std::size_t>(k),
+                                                  ropts.tol_eig.size() - 1)];
+
+    WallTimer omega_timer;
+    RrStep rr = ranked_rayleigh_ritz(st, v, result.rank_apply_seconds,
+                                     result.rank_error_seconds);
+    matmult_seconds += rr.matmult_seconds;
+    eigensolve_seconds += rr.eigensolve_seconds;
+    ++error_checks;
+
+    int ncheb = 0;
+    while (rr.error > tol && ncheb < ropts.max_filter_iter) {
+      const double d_min = rr.values.front();
+      const double span = std::max(std::abs(d_min), 1e-12);
+      // Same clamp as subspace_iteration: keep damp_lo strictly below the
+      // damp_hi edge even if inexact solves push Ritz values past zero.
+      const double damp_lo = std::min(rr.values.back(), -1e-9 * span);
+      st.rank_seconds = &result.rank_apply_seconds;
+      solver::chebyshev_filter_op(
+          [&st](const la::Matrix<double>& in, la::Matrix<double>& out) {
+            ranked_apply(st, in, out);
+          },
+          v, ropts.cheb_degree, damp_lo, 1e-6 * span,
+          std::min(d_min, damp_lo - 1e-6 * span));
+
+      rr = ranked_rayleigh_ritz(st, v, result.rank_apply_seconds,
+                                result.rank_error_seconds);
+      matmult_seconds += rr.matmult_seconds;
+      eigensolve_seconds += rr.eigensolve_seconds;
+      ++error_checks;
+      ++ncheb;
+    }
+
+    rpa::OmegaRecord rec;
+    rec.omega = q.omega;
+    rec.weight = q.weight;
+    rec.filter_iterations = ncheb;
+    rec.error = rr.error;
+    rec.converged = rr.error <= tol;
+    rec.eigenvalues = rr.values;
+    for (double mu : rr.values) rec.e_term += rpa::rpa_trace_term(mu);
+    rec.seconds = omega_timer.seconds();
+    result.rpa.e_rpa += q.weight * rec.e_term / (2.0 * M_PI);
+    result.rpa.converged = result.rpa.converged && rec.converged;
+    result.rpa.per_omega.push_back(std::move(rec));
+  }
+  result.rpa.total_seconds = total.seconds();
+  result.rpa.e_rpa_per_atom =
+      result.rpa.e_rpa / static_cast<double>(sys.h->crystal().n_atoms());
+
+  // Assemble the modeled parallel wall clock.
+  double max_apply = 0.0, max_err = 0.0;
+  for (std::size_t r = 0; r < p; ++r) {
+    max_apply = std::max(max_apply, result.rank_apply_seconds[r]);
+    max_err = std::max(max_err, result.rank_error_seconds[r]);
+    result.apply_work_seconds +=
+        result.rank_apply_seconds[r] + result.rank_error_seconds[r];
+  }
+  result.modeled.nu_chi0 = max_apply;
+  result.modeled.eval_error =
+      max_err + static_cast<double>(error_checks) *
+                    opts.net.allreduce(8 * (m + 1), p);
+  result.modeled.matmult = opts.net.matmult_time(matmult_seconds, n, m, p);
+  result.modeled.eigensolve = opts.net.eigensolve_time(eigensolve_seconds, m, p);
+  result.modeled_total_seconds = result.modeled.total();
+
+  // Mirror the serial buckets into the result's timers for reporting.
+  result.rpa.timers.add(rpa::kernels::kNuChi0, max_apply);
+  result.rpa.timers.add(rpa::kernels::kEvalError, result.modeled.eval_error);
+  result.rpa.timers.add(rpa::kernels::kMatmult, result.modeled.matmult);
+  result.rpa.timers.add(rpa::kernels::kEigensolve, result.modeled.eigensolve);
+  return result;
+}
+
+}  // namespace rsrpa::par

@@ -1,0 +1,31 @@
+// Iterative Poisson solver used as an independent cross-check of the
+// Kronecker spectral solver (and as the fast Poisson building block the
+// paper's future-work preconditioner relies on). Solves
+//
+//   -Laplacian(phi) = 4*pi*rho,   mean(phi) = 0
+//
+// with conjugate gradients on the matrix-free stencil operator, projecting
+// the constant null space out of the right-hand side and iterates.
+#pragma once
+
+#include <span>
+
+#include "grid/stencil.hpp"
+
+namespace rsrpa::poisson {
+
+struct PoissonCgReport {
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// CG solve of -L phi = 4*pi*rho. `rho` is mean-projected internally; the
+/// returned potential has zero mean, matching the spectral solver's
+/// pseudo-inverse convention.
+PoissonCgReport solve_poisson_cg(const grid::StencilLaplacian& lap,
+                                 std::span<const double> rho,
+                                 std::span<double> phi, double tol = 1e-10,
+                                 int max_iter = 2000);
+
+}  // namespace rsrpa::poisson

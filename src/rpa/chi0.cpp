@@ -1,0 +1,90 @@
+#include "rpa/chi0.hpp"
+
+#include "solver/galerkin_guess.hpp"
+
+namespace rsrpa::rpa {
+
+void SternheimerStats::merge(const solver::DynamicBlockReport& rep) {
+  for (const auto& [size, count] : rep.block_size_counts())
+    block_size_chunks[size] += count;
+  total_chunks += static_cast<long>(rep.chunks.size());
+  matvec_columns += rep.total_matvec_columns;
+  seconds += rep.total_seconds;
+  all_converged = all_converged && rep.all_converged;
+}
+
+void SternheimerStats::merge(const SternheimerStats& other) {
+  for (const auto& [size, count] : other.block_size_chunks)
+    block_size_chunks[size] += count;
+  total_chunks += other.total_chunks;
+  matvec_columns += other.matvec_columns;
+  seconds += other.seconds;
+  all_converged = all_converged && other.all_converged;
+}
+
+Chi0Applier::Chi0Applier(const dft::KsSystem& sys, SternheimerOptions opts)
+    : sys_(sys), opts_(opts) {
+  RSRPA_REQUIRE(sys_.n_occ() >= 1);
+}
+
+void Chi0Applier::apply(const la::Matrix<double>& v, la::Matrix<double>& out,
+                        double omega, SternheimerStats* stats) const {
+  const std::size_t n = sys_.n_grid();
+  const std::size_t s = v.cols();
+  RSRPA_REQUIRE(v.rows() == n && out.rows() == n && out.cols() == s);
+  RSRPA_REQUIRE_MSG(omega > 0.0,
+                    "chi0(i omega): omega must be positive (the omega = 0 "
+                    "coefficient matrix is singular)");
+
+  solver::DynamicBlockOptions dopts;
+  dopts.solver.tol = opts_.tol;
+  dopts.solver.max_iter = opts_.max_iter;
+  dopts.enabled = opts_.dynamic_block;
+  dopts.fixed_block = opts_.fixed_block;
+  dopts.max_block = opts_.max_block;
+
+  out.zero();
+  la::Matrix<la::cplx> b(n, s), y(n, s);
+  la::Matrix<double> b_real(n, s);
+
+  const ham::Hamiltonian& h = *sys_.h;
+  for (std::size_t j = 0; j < sys_.n_occ(); ++j) {
+    const double lambda = sys_.eigenvalues[j];
+    auto psi = sys_.orbitals.col(j);
+
+    // Right-hand side B_j = -(V . Psi_j).
+    for (std::size_t c = 0; c < s; ++c) {
+      auto vcol = v.col(c);
+      auto bcol = b_real.col(c);
+      for (std::size_t i = 0; i < n; ++i) bcol[i] = -vcol[i] * psi[i];
+    }
+
+    // Initial guess: Galerkin projection onto the occupied manifold
+    // (Eq. 13) or zero.
+    if (opts_.galerkin_guess) {
+      y = solver::galerkin_initial_guess(sys_.orbitals, sys_.eigenvalues,
+                                         lambda, omega, b_real);
+    } else {
+      y.zero();
+    }
+    for (std::size_t c = 0; c < s; ++c)
+      for (std::size_t i = 0; i < n; ++i) b(i, c) = {b_real(i, c), 0.0};
+
+    solver::BlockOpC op = [&h, lambda, omega](const la::Matrix<la::cplx>& in,
+                                              la::Matrix<la::cplx>& o) {
+      h.apply_shifted_block(in, o, lambda, omega);
+    };
+    solver::DynamicBlockReport rep = solver::solve_dynamic_block(op, b, y, dopts);
+    if (stats != nullptr) stats->merge(rep);
+
+    // Accumulate (4 / dv) Re(Psi_j . Y_j).
+    const double scale = 4.0 / h.grid().dv();
+    for (std::size_t c = 0; c < s; ++c) {
+      auto ocol = out.col(c);
+      for (std::size_t i = 0; i < n; ++i)
+        ocol[i] += scale * psi[i] * y(i, c).real();
+    }
+  }
+}
+
+}  // namespace rsrpa::rpa

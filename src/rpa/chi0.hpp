@@ -1,0 +1,67 @@
+// Matrix-free application of the irreducible polarizability chi0(i omega).
+//
+// The two-step procedure of paper Eqs. (4)-(5) in block form (Eq. 6):
+// for each occupied orbital j, solve the block Sternheimer system
+//
+//   (H - lambda_j I + i omega I) Y_j = -(V . Psi_j)     (Hadamard RHS)
+//
+// with block COCG under dynamic block-size selection (Algorithms 3+4) and
+// the Galerkin initial guess (Eq. 13), then accumulate
+//
+//   chi0 V = (4 / dv) Re sum_j Psi_j . Y_j.
+//
+// The 1/dv converts the grid-orthonormal orbital convention into the
+// continuum polarizability operator, so the spectrum of nu chi0 is the
+// physical (dimensionless) one of paper Fig. 1.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/timer.hpp"
+#include "dft/ks_system.hpp"
+#include "solver/dynamic_block.hpp"
+
+namespace rsrpa::rpa {
+
+struct SternheimerOptions {
+  double tol = 1e-2;          ///< TOL_STERN_RES of the artifact input
+  int max_iter = 1000;
+  bool dynamic_block = true;  ///< Algorithm 4 on/off (ablation A3/Table IV)
+  int fixed_block = 1;        ///< used when dynamic_block is false
+  int max_block = 0;          ///< n_eig / p cap; 0 = unlimited
+  bool galerkin_guess = true; ///< Eq. (13) on/off (ablation A3)
+};
+
+/// Accumulated statistics over Sternheimer solves (feeds Table IV and the
+/// load-balance analysis of Figs. 4/5).
+struct SternheimerStats {
+  std::map<int, int> block_size_chunks;  ///< Table IV histogram
+  long total_chunks = 0;
+  long matvec_columns = 0;
+  double seconds = 0.0;
+  bool all_converged = true;
+
+  void merge(const solver::DynamicBlockReport& rep);
+  void merge(const SternheimerStats& other);
+};
+
+class Chi0Applier {
+ public:
+  Chi0Applier(const dft::KsSystem& sys, SternheimerOptions opts);
+
+  /// out = chi0(i omega) * v for a block of real vectors. `stats`
+  /// (optional) accumulates solver statistics.
+  void apply(const la::Matrix<double>& v, la::Matrix<double>& out,
+             double omega, SternheimerStats* stats = nullptr) const;
+
+  [[nodiscard]] const dft::KsSystem& system() const { return sys_; }
+  [[nodiscard]] const SternheimerOptions& options() const { return opts_; }
+  SternheimerOptions& options() { return opts_; }
+
+ private:
+  const dft::KsSystem& sys_;
+  SternheimerOptions opts_;
+};
+
+}  // namespace rsrpa::rpa

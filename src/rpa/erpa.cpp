@@ -1,0 +1,67 @@
+#include "rpa/erpa.hpp"
+
+#include <cmath>
+
+namespace rsrpa::rpa {
+
+double rpa_trace_term(double mu) {
+  RSRPA_REQUIRE_MSG(mu < 1.0, "ln(1 - mu) undefined for mu >= 1");
+  return std::log1p(-mu) + mu;
+}
+
+RpaResult compute_rpa_energy(const dft::KsSystem& sys,
+                             const poisson::KroneckerLaplacian& klap,
+                             const RpaOptions& opts) {
+  RSRPA_REQUIRE_MSG(opts.n_eig >= 1 && opts.n_eig <= sys.n_grid(),
+                    "n_eig must be in [1, n_d]");
+  RSRPA_REQUIRE(opts.ell >= 1);
+
+  WallTimer total;
+  RpaResult result;
+  NuChi0Operator op(sys, klap, opts.stern);
+  const std::vector<QuadPoint> quad = rpa_frequency_quadrature(opts.ell);
+
+  // V carries the subspace across quadrature points (warm start).
+  Rng rng(opts.seed);
+  la::Matrix<double> v(sys.n_grid(), opts.n_eig);
+  for (std::size_t j = 0; j < opts.n_eig; ++j) rng.fill_uniform(v.col(j));
+
+  for (int k = 0; k < opts.ell; ++k) {
+    const QuadPoint& q = quad[static_cast<std::size_t>(k)];
+    WallTimer omega_timer;
+
+    if (!opts.warm_start && k > 0)
+      for (std::size_t j = 0; j < opts.n_eig; ++j) rng.fill_uniform(v.col(j));
+
+    SubspaceOptions sopts;
+    sopts.tol = opts.tol_eig.empty()
+                    ? 5e-4
+                    : opts.tol_eig[std::min<std::size_t>(
+                          static_cast<std::size_t>(k), opts.tol_eig.size() - 1)];
+    sopts.max_filter_iter = opts.max_filter_iter;
+    sopts.cheb_degree = opts.cheb_degree;
+
+    SubspaceResult sub = subspace_iteration(op, q.omega, v, sopts,
+                                            &result.stern, &result.timers);
+
+    OmegaRecord rec;
+    rec.omega = q.omega;
+    rec.weight = q.weight;
+    rec.filter_iterations = sub.filter_iterations;
+    rec.error = sub.error;
+    rec.converged = sub.converged;
+    rec.eigenvalues = sub.eigenvalues;
+    for (double mu : sub.eigenvalues) rec.e_term += rpa_trace_term(mu);
+    rec.seconds = omega_timer.seconds();
+    result.e_rpa += q.weight * rec.e_term / (2.0 * M_PI);
+    result.converged = result.converged && sub.converged;
+    result.per_omega.push_back(std::move(rec));
+  }
+
+  const std::size_t n_atoms = sys.h->crystal().n_atoms();
+  result.e_rpa_per_atom = result.e_rpa / static_cast<double>(n_atoms);
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace rsrpa::rpa

@@ -1,0 +1,64 @@
+// The top-level RPA correlation energy driver — Algorithms 1 and 6.
+//
+// Steps through the descending frequency grid of Table II, runs the
+// filtered subspace iteration at each point (warm-starting from the
+// previous point's eigenvectors), and accumulates
+//
+//   E_RPA = sum_k w_k / (2 pi) * sum_a [ ln(1 - mu_a) + mu_a ]
+//
+// over the n_eig most negative eigenvalues mu_a of nu chi0(i omega_k).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "rpa/quadrature.hpp"
+#include "rpa/subspace.hpp"
+
+namespace rsrpa::rpa {
+
+struct RpaOptions {
+  std::size_t n_eig = 0;  ///< N_NUCHI_EIGS; required
+  int ell = 8;            ///< N_OMEGA
+  /// Per-quadrature-point subspace tolerances (TOL_EIG). Padded with the
+  /// last entry if shorter than ell.
+  std::vector<double> tol_eig = {4e-3, 2e-3, 5e-4, 5e-4,
+                                 5e-4, 5e-4, 5e-4, 5e-4};
+  int max_filter_iter = 10;  ///< MAXIT_FILTERING
+  int cheb_degree = 2;       ///< CHEB_DEGREE_RPA
+  SternheimerOptions stern;  ///< TOL_STERN_RES etc.
+  bool warm_start = true;    ///< reuse eigenvectors across omega (SS III-F)
+  std::uint64_t seed = 0x5ca1ab1e;
+};
+
+struct OmegaRecord {
+  double omega = 0.0;
+  double weight = 0.0;
+  double e_term = 0.0;       ///< Tr approximation at this omega
+  int filter_iterations = 0; ///< ncheb
+  double error = 0.0;        ///< Eq. (7) at exit
+  bool converged = false;
+  double seconds = 0.0;
+  std::vector<double> eigenvalues;  ///< converged Ritz values (ascending)
+};
+
+struct RpaResult {
+  double e_rpa = 0.0;           ///< total correlation energy (Ha)
+  double e_rpa_per_atom = 0.0;  ///< filled by the caller via finalize()
+  bool converged = true;        ///< all quadrature points converged
+  std::vector<OmegaRecord> per_omega;
+  KernelTimers timers;          ///< Fig. 5 kernel breakdown
+  SternheimerStats stern;       ///< Table IV statistics
+  double total_seconds = 0.0;
+};
+
+/// Compute E_RPA for the given Kohn-Sham system. `klap` must discretize
+/// the same grid with the same stencil radius as the system Hamiltonian.
+RpaResult compute_rpa_energy(const dft::KsSystem& sys,
+                             const poisson::KroneckerLaplacian& klap,
+                             const RpaOptions& opts);
+
+/// The scalar trace model applied to each eigenvalue: ln(1 - mu) + mu.
+double rpa_trace_term(double mu);
+
+}  // namespace rsrpa::rpa

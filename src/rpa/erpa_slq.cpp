@@ -1,0 +1,46 @@
+#include "rpa/erpa_slq.hpp"
+
+#include <cmath>
+
+#include "rpa/erpa.hpp"
+#include "rpa/quadrature.hpp"
+#include "rpa/trace_est.hpp"
+
+namespace rsrpa::rpa {
+
+SlqRpaResult compute_rpa_energy_slq(const dft::KsSystem& sys,
+                                    const poisson::KroneckerLaplacian& klap,
+                                    const SlqRpaOptions& opts) {
+  RSRPA_REQUIRE(opts.ell >= 1 && opts.n_probes >= 1 && opts.lanczos_steps >= 1);
+
+  WallTimer total;
+  SlqRpaResult out;
+  NuChi0Operator op(sys, klap, opts.stern);
+  const auto quad = rpa_frequency_quadrature(opts.ell);
+  Rng rng(opts.seed);
+
+  long applies = 0;
+  for (const QuadPoint& q : quad) {
+    solver::BlockOpR mop = [&op, &q, &applies](const la::Matrix<double>& in,
+                                               la::Matrix<double>& o) {
+      op.apply(in, o, q.omega, nullptr, nullptr);
+      applies += static_cast<long>(in.cols());
+    };
+    // The spectrum of M is non-positive; Ritz values may poke slightly
+    // above zero from Lanczos rounding and loose Sternheimer solves, so
+    // clamp before ln(1 - x).
+    const double e_term = slq_trace(
+        mop, sys.n_grid(),
+        [](double x) { return rpa_trace_term(std::min(x, 0.0)); },
+        opts.n_probes, opts.lanczos_steps, rng);
+    out.e_terms.push_back(e_term);
+    out.e_rpa += q.weight * e_term / (2.0 * M_PI);
+  }
+
+  out.matvec_columns = applies;
+  out.e_rpa_per_atom = out.e_rpa / static_cast<double>(sys.h->crystal().n_atoms());
+  out.total_seconds = total.seconds();
+  return out;
+}
+
+}  // namespace rsrpa::rpa

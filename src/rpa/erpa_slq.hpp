@@ -1,0 +1,40 @@
+// E_RPA via stochastic Lanczos quadrature — the paper's SS V future-work
+// replacement for the dense generalized eigensolve.
+//
+// At each quadrature point the functional trace Tr[ln(1 - M) + M] with
+// M = nu^{1/2} chi0(i omega) nu^{1/2} is estimated directly by SLQ: each
+// Rademacher probe runs a short Lanczos recurrence in M (every step one
+// Sternheimer pass over a single vector), and probes are INDEPENDENT — the
+// embarrassing parallelism the paper wants at large processor counts,
+// with no subspace, no Gram matrices, and no eigensolve.
+//
+// Trade-off: stochastic error ~1/sqrt(n_probes) instead of a subspace
+// truncation error, and no warm start to exploit. The a6 bench compares
+// both drivers head to head.
+#pragma once
+
+#include "rpa/nu_chi0.hpp"
+
+namespace rsrpa::rpa {
+
+struct SlqRpaOptions {
+  int ell = 8;             ///< quadrature points (Table II scheme)
+  int n_probes = 16;       ///< Rademacher probes per frequency
+  int lanczos_steps = 16;  ///< Lanczos iterations per probe
+  SternheimerOptions stern;
+  std::uint64_t seed = 0x51ab5eedULL;
+};
+
+struct SlqRpaResult {
+  double e_rpa = 0.0;
+  double e_rpa_per_atom = 0.0;
+  std::vector<double> e_terms;  ///< per-omega trace estimates
+  double total_seconds = 0.0;
+  long matvec_columns = 0;      ///< total single-vector operator applies
+};
+
+SlqRpaResult compute_rpa_energy_slq(const dft::KsSystem& sys,
+                                    const poisson::KroneckerLaplacian& klap,
+                                    const SlqRpaOptions& opts);
+
+}  // namespace rsrpa::rpa

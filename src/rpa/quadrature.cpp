@@ -1,0 +1,74 @@
+#include "rpa/quadrature.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/eig.hpp"
+
+namespace rsrpa::rpa {
+
+std::vector<std::pair<double, double>> gauss_legendre(int n) {
+  RSRPA_REQUIRE(n >= 1);
+  std::vector<std::pair<double, double>> out(n);
+  const int m = (n + 1) / 2;
+  for (int i = 0; i < m; ++i) {
+    // Chebyshev-based initial guess for the i-th root.
+    double x = std::cos(M_PI * (i + 0.75) / (n + 0.5));
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate P_n(x) and P'_n(x) by the three-term recurrence.
+      double p0 = 1.0, p1 = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double p2 = p1;
+        p1 = p0;
+        p0 = ((2.0 * j + 1.0) * x * p1 - j * p2) / (j + 1.0);
+      }
+      pp = n * (x * p0 - p1) / (x * x - 1.0);
+      const double dx = p0 / pp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    const double w = 2.0 / ((1.0 - x * x) * pp * pp);
+    out[static_cast<std::size_t>(i)] = {-x, w};          // ascending half
+    out[static_cast<std::size_t>(n - 1 - i)] = {x, w};   // mirrored half
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> gauss_legendre_golub_welsch(int n) {
+  RSRPA_REQUIRE(n >= 1);
+  // Jacobi matrix of the Legendre recurrence: zero diagonal, off-diagonal
+  // beta_k = k / sqrt(4 k^2 - 1). Nodes are its eigenvalues; weights are
+  // 2 * (first eigenvector component)^2.
+  std::vector<double> d(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> e(static_cast<std::size_t>(n) - 1);
+  for (int k = 1; k < n; ++k)
+    e[static_cast<std::size_t>(k - 1)] = k / std::sqrt(4.0 * k * k - 1.0);
+  la::EigResult eig = la::tridiag_eig(std::move(d), std::move(e));
+  std::vector<std::pair<double, double>> out(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const double q0 = eig.vectors(0, static_cast<std::size_t>(j));
+    out[static_cast<std::size_t>(j)] = {eig.values[static_cast<std::size_t>(j)],
+                                        2.0 * q0 * q0};
+  }
+  return out;
+}
+
+std::vector<QuadPoint> rpa_frequency_quadrature(int ell) {
+  const auto gl = gauss_legendre(ell);
+  std::vector<QuadPoint> pts(static_cast<std::size_t>(ell));
+  // Map [-1,1] -> [0,1]; ascending x gives descending omega = (1-x)/x,
+  // which is already the paper's ordering (omega_1 largest at smallest x).
+  for (int k = 0; k < ell; ++k) {
+    const double x = 0.5 * (gl[static_cast<std::size_t>(k)].first + 1.0);
+    const double w = 0.5 * gl[static_cast<std::size_t>(k)].second;
+    QuadPoint& p = pts[static_cast<std::size_t>(k)];
+    p.x01 = x;
+    p.w01 = w;
+    p.omega = (1.0 - x) / x;
+    p.weight = w / (x * x);
+  }
+  return pts;
+}
+
+}  // namespace rsrpa::rpa

@@ -1,0 +1,33 @@
+// Frequency quadrature for the semi-infinite RPA integral (Eq. 1 / 3).
+//
+// Gauss-Legendre nodes x on [0, 1] are mapped by omega = (1 - x) / x with
+// weight w = w_GL / x^2 (the ABINIT-style scheme the paper uses). For
+// l = 8 this reproduces Table II: omega = 49.36 ... 0.020 with weights
+// 128.4 ... 0.053. Points are returned in the paper's DESCENDING omega
+// order (omega_1 largest), which is what makes the warm-start chain of
+// SS III-F effective.
+#pragma once
+
+#include <vector>
+
+namespace rsrpa::rpa {
+
+struct QuadPoint {
+  double omega = 0.0;   ///< frequency (Ha)
+  double weight = 0.0;  ///< transformed weight w_GL / x^2
+  double x01 = 0.0;     ///< underlying Gauss-Legendre node on [0, 1]
+  double w01 = 0.0;     ///< underlying Gauss-Legendre weight on [0, 1]
+};
+
+/// Gauss-Legendre nodes and weights on [-1, 1], ascending nodes. Computed
+/// by Newton iteration on the Legendre polynomial.
+std::vector<std::pair<double, double>> gauss_legendre(int n);
+
+/// Same rule via the Golub-Welsch eigenvalue algorithm (paper ref [25]) —
+/// an independent construction used to cross-validate gauss_legendre.
+std::vector<std::pair<double, double>> gauss_legendre_golub_welsch(int n);
+
+/// The paper's frequency grid: l points, descending omega.
+std::vector<QuadPoint> rpa_frequency_quadrature(int ell);
+
+}  // namespace rsrpa::rpa

@@ -1,0 +1,76 @@
+#include "rpa/trace_est.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/eig.hpp"
+
+namespace rsrpa::rpa {
+
+double hutchinson_trace(const solver::BlockOpR& a, std::size_t n,
+                        int n_probes, Rng& rng) {
+  RSRPA_REQUIRE(n_probes >= 1 && n >= 1);
+  la::Matrix<double> z(n, 1), az(n, 1);
+  double sum = 0.0;
+  for (int p = 0; p < n_probes; ++p) {
+    rng.fill_rademacher(z.col(0));
+    a(z, az);
+    sum += la::dot(z.col(0), az.col(0));
+  }
+  return sum / n_probes;
+}
+
+double slq_trace(const solver::BlockOpR& a, std::size_t n,
+                 const std::function<double(double)>& f, int n_probes,
+                 int lanczos_steps, Rng& rng) {
+  RSRPA_REQUIRE(n_probes >= 1 && lanczos_steps >= 1 && n >= 1);
+  const int m = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(lanczos_steps), n));
+
+  la::Matrix<double> q(n, static_cast<std::size_t>(m) + 1);
+  la::Matrix<double> zcol(n, 1), az(n, 1);
+  double total = 0.0;
+
+  for (int p = 0; p < n_probes; ++p) {
+    rng.fill_rademacher(zcol.col(0));
+    const double znorm = la::nrm2(std::span<const double>(zcol.col(0)));
+
+    std::vector<double> alpha, beta;
+    for (std::size_t i = 0; i < n; ++i) q(i, 0) = zcol(i, 0) / znorm;
+
+    int steps = 0;
+    for (int k = 0; k < m; ++k) {
+      // az = A q_k
+      for (std::size_t i = 0; i < n; ++i) zcol(i, 0) = q(i, static_cast<std::size_t>(k));
+      a(zcol, az);
+      double ak = la::dot(q.col(static_cast<std::size_t>(k)), az.col(0));
+      alpha.push_back(ak);
+      // Full reorthogonalization (small m keeps this cheap and robust).
+      for (int r = 0; r <= k; ++r) {
+        const double c = la::dot(q.col(static_cast<std::size_t>(r)), az.col(0));
+        la::axpy(-c, q.col(static_cast<std::size_t>(r)), az.col(0));
+      }
+      const double bk = la::nrm2(std::span<const double>(az.col(0)));
+      ++steps;
+      if (bk < 1e-12 || k + 1 == m) break;
+      beta.push_back(bk);
+      for (std::size_t i = 0; i < n; ++i)
+        q(i, static_cast<std::size_t>(k) + 1) = az(i, 0) / bk;
+    }
+
+    // Gauss quadrature from the tridiagonal eigendecomposition:
+    // z^T f(A) z ~ ||z||^2 sum_i (first component)^2 f(theta_i).
+    alpha.resize(static_cast<std::size_t>(steps));
+    beta.resize(static_cast<std::size_t>(steps) - 1);
+    la::EigResult t = la::tridiag_eig(alpha, beta);
+    double est = 0.0;
+    for (std::size_t i = 0; i < t.values.size(); ++i) {
+      const double tau = t.vectors(0, i);
+      est += tau * tau * f(t.values[i]);
+    }
+    total += znorm * znorm * est;
+  }
+  return total / n_probes;
+}
+
+}  // namespace rsrpa::rpa

@@ -1,0 +1,30 @@
+// Alternative functional-trace estimators — the approaches paper SS II
+// lists beside the eigenvalue route, and the SS V future-work replacement
+// for the poorly-scaling dense eigensolve.
+//
+// - hutchinson_trace: plain stochastic estimator of Tr(A).
+// - slq_trace: stochastic Lanczos quadrature for Tr f(A) of a symmetric
+//   operator (Golub & Meurant, paper ref [28]): each Rademacher probe runs
+//   a short Lanczos recurrence whose tridiagonal eigendecomposition yields
+//   Gauss quadrature nodes/weights for z^T f(A) z.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "solver/chebyshev.hpp"
+
+namespace rsrpa::rpa {
+
+/// Stochastic estimate of Tr(A) with `n_probes` Rademacher vectors.
+double hutchinson_trace(const solver::BlockOpR& a, std::size_t n,
+                        int n_probes, Rng& rng);
+
+/// Stochastic Lanczos quadrature estimate of Tr f(A), A symmetric.
+/// `lanczos_steps` Lanczos iterations per probe, full reorthogonalization
+/// (the subspaces are small).
+double slq_trace(const solver::BlockOpR& a, std::size_t n,
+                 const std::function<double(double)>& f, int n_probes,
+                 int lanczos_steps, Rng& rng);
+
+}  // namespace rsrpa::rpa

@@ -1,0 +1,38 @@
+#include "solver/chebyshev.hpp"
+
+#include "common/error.hpp"
+
+namespace rsrpa::solver {
+
+void chebyshev_filter_op(const BlockOpR& a_op, la::Matrix<double>& v,
+                         int degree, double a, double b, double a0) {
+  RSRPA_REQUIRE(degree >= 1 && b > a && a0 < a);
+  const double e = 0.5 * (b - a);
+  const double c = 0.5 * (b + a);
+  double sigma = e / (a0 - c);
+  const double sigma1 = sigma;
+
+  const std::size_t n = v.rows(), s = v.cols();
+  la::Matrix<double> vold = v;
+  la::Matrix<double> vnew(n, s), av(n, s);
+
+  // V1 = (sigma1 / e) (A - cI) V0.
+  a_op(v, av);
+  for (std::size_t j = 0; j < s; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      v(i, j) = (sigma1 / e) * (av(i, j) - c * vold(i, j));
+
+  for (int k = 2; k <= degree; ++k) {
+    const double sigma2 = 1.0 / (2.0 / sigma1 - sigma);
+    a_op(v, av);
+    for (std::size_t j = 0; j < s; ++j)
+      for (std::size_t i = 0; i < n; ++i)
+        vnew(i, j) = 2.0 * (sigma2 / e) * (av(i, j) - c * v(i, j)) -
+                     (sigma * sigma2) * vold(i, j);
+    vold = v;
+    v = vnew;
+    sigma = sigma2;
+  }
+}
+
+}  // namespace rsrpa::solver

@@ -1,0 +1,24 @@
+// Generic scaled Chebyshev polynomial filter on a real block operator.
+//
+// Shared by the CheFSI ground-state solver (filtering H) and the RPA
+// subspace iteration (filtering nu^{1/2} chi0 nu^{1/2}, Algorithm 5).
+// Components of V with operator eigenvalues inside [a, b] are damped to
+// |p| <= 1 while everything below a is amplified; a0 (a lower estimate of
+// the spectrum) sets the stable scaling of Zhou et al. (paper ref [34]).
+#pragma once
+
+#include <functional>
+
+#include "la/matrix.hpp"
+
+namespace rsrpa::solver {
+
+/// out = A * in for a block of real vectors.
+using BlockOpR =
+    std::function<void(const la::Matrix<double>&, la::Matrix<double>&)>;
+
+/// In-place V <- p_degree(A) V damping [a, b].
+void chebyshev_filter_op(const BlockOpR& a_op, la::Matrix<double>& v,
+                         int degree, double a, double b, double a0);
+
+}  // namespace rsrpa::solver

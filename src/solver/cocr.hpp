@@ -1,0 +1,15 @@
+// Conjugate orthogonal conjugate residual (COCR) — the residual-smoothing
+// sibling of COCG for complex symmetric systems (Sogabe & Zhang 2007,
+// in the method family of paper ref [39]). Kept as an ablation companion:
+// same short-term recurrence cost as COCG, typically smoother residual
+// curves on the highly indefinite (j ~ n_s, k = l) Sternheimer systems.
+#pragma once
+
+#include "solver/operator.hpp"
+
+namespace rsrpa::solver {
+
+SolveReport cocr(const BlockOpC& a, std::span<const cplx> b, std::span<cplx> y,
+                 const SolverOptions& opts = {});
+
+}  // namespace rsrpa::solver

@@ -1,0 +1,130 @@
+#include "solver/dynamic_block.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+#include "solver/block_cocg.hpp"
+
+namespace rsrpa::solver {
+
+std::map<int, int> DynamicBlockReport::block_size_counts() const {
+  std::map<int, int> counts;
+  for (const ChunkRecord& c : chunks) ++counts[c.block_size];
+  return counts;
+}
+
+namespace {
+
+// Solve one chunk of columns [pos, pos + count) with block COCG, falling
+// back to column-by-column COCG if the block method breaks down (linearly
+// dependent residual block).
+ChunkRecord solve_chunk(const BlockOpC& a, const la::Matrix<cplx>& b,
+                        la::Matrix<cplx>& y, std::size_t pos,
+                        std::size_t count, const SolverOptions& sopts,
+                        DynamicBlockReport& rep) {
+  ChunkRecord rec;
+  rec.block_size = static_cast<int>(count);
+  rec.n_rhs = static_cast<int>(count);
+
+  WallTimer timer;
+  la::Matrix<cplx> bchunk = b.slice_cols(pos, count);
+  la::Matrix<cplx> ychunk = y.slice_cols(pos, count);
+  try {
+    SolveReport r = block_cocg(a, bchunk, ychunk, sopts);
+    rec.iterations = r.iterations;
+    rec.converged = r.converged;
+    rep.total_matvec_columns += r.matvec_columns;
+  } catch (const NumericalBreakdown&) {
+    // Deflation path: re-solve each column independently from the original
+    // initial guess.
+    rec.fallback = true;
+    ychunk = y.slice_cols(pos, count);
+    rec.converged = true;
+    for (std::size_t j = 0; j < count; ++j) {
+      la::Matrix<cplx> b1 = b.slice_cols(pos + j, 1);
+      la::Matrix<cplx> y1 = ychunk.slice_cols(j, 1);
+      SolveReport r = block_cocg(a, b1, y1, sopts);
+      ychunk.set_cols(j, y1);
+      rec.iterations = std::max(rec.iterations, r.iterations);
+      rec.converged = rec.converged && r.converged;
+      rep.total_matvec_columns += r.matvec_columns;
+    }
+  }
+  y.set_cols(pos, ychunk);
+  rec.seconds = timer.seconds();
+  rep.total_seconds += rec.seconds;
+  rep.all_converged = rep.all_converged && rec.converged;
+  rep.chunks.push_back(rec);
+  return rec;
+}
+
+}  // namespace
+
+DynamicBlockReport solve_dynamic_block(const BlockOpC& a,
+                                       const la::Matrix<cplx>& b,
+                                       la::Matrix<cplx>& y,
+                                       const DynamicBlockOptions& opts) {
+  const std::size_t n_rhs = b.cols();
+  RSRPA_REQUIRE(y.cols() == n_rhs && y.rows() == b.rows());
+  DynamicBlockReport rep;
+  if (n_rhs == 0) return rep;
+
+  const std::size_t cap = opts.max_block > 0
+                              ? std::min<std::size_t>(opts.max_block, n_rhs)
+                              : n_rhs;
+  std::size_t pos = 0;
+
+  if (!opts.enabled) {
+    const std::size_t s = std::min<std::size_t>(
+        std::max(opts.fixed_block, 1), cap);
+    while (pos < n_rhs) {
+      const std::size_t count = std::min(s, n_rhs - pos);
+      solve_chunk(a, b, y, pos, count, opts.solver, rep);
+      pos += count;
+    }
+    return rep;
+  }
+
+  // Algorithm 4. Probe s = 1, then s = 2, doubling while the chunk time
+  // at most doubles (per-vector time non-increasing).
+  std::size_t s = 1;
+  ChunkRecord first = solve_chunk(a, b, y, pos, std::min<std::size_t>(1, n_rhs - pos),
+                                  opts.solver, rep);
+  pos += static_cast<std::size_t>(first.n_rhs);
+  double t_old = first.seconds;
+
+  if (pos < n_rhs && cap >= 2) {
+    s = 2;
+    ChunkRecord second =
+        solve_chunk(a, b, y, pos, std::min<std::size_t>(2, n_rhs - pos),
+                    opts.solver, rep);
+    pos += static_cast<std::size_t>(second.n_rhs);
+    double t_new = second.seconds;
+
+    while (pos < n_rhs) {
+      if (t_new <= 2.0 * t_old && 2 * s <= cap) {
+        s *= 2;
+        t_old = t_new;
+        const std::size_t count = std::min(s, n_rhs - pos);
+        ChunkRecord rec = solve_chunk(a, b, y, pos, count, opts.solver, rep);
+        pos += count;
+        t_new = rec.seconds;
+        // A short tail chunk is not a fair probe; stop growing after it.
+        if (count < s) break;
+      } else {
+        if (t_new > 2.0 * t_old) s = std::max<std::size_t>(1, s / 2);
+        break;
+      }
+    }
+  }
+
+  // Solve everything remaining at the selected size.
+  while (pos < n_rhs) {
+    const std::size_t count = std::min(s, n_rhs - pos);
+    solve_chunk(a, b, y, pos, count, opts.solver, rep);
+    pos += count;
+  }
+  return rep;
+}
+
+}  // namespace rsrpa::solver

@@ -1,0 +1,55 @@
+// Dynamic block size selection — Algorithm 4 of the paper.
+//
+// Each processor solves its batch of right-hand sides for one Sternheimer
+// coefficient matrix by probing block sizes in powers of two: as long as
+// doubling the block size at most doubles the per-chunk time (i.e. does
+// not increase the per-vector time), keep doubling; otherwise halve once
+// and solve the remaining systems at that size. Larger blocks buy fewer
+// iterations on hard systems at the price of O(n s^2) matmult work — this
+// probe finds the break-even point online, per (j, k) pair, without any
+// a-priori model (paper SS III-E).
+//
+// The per-chunk records are what the Table IV bench histograms.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "solver/operator.hpp"
+
+namespace rsrpa::solver {
+
+struct ChunkRecord {
+  int block_size = 0;
+  int n_rhs = 0;        ///< columns actually solved (may be < block_size at the tail)
+  int iterations = 0;
+  double seconds = 0.0;
+  bool converged = false;
+  bool fallback = false;  ///< block breakdown -> solved column-by-column
+};
+
+struct DynamicBlockReport {
+  std::vector<ChunkRecord> chunks;
+  long total_matvec_columns = 0;
+  double total_seconds = 0.0;
+  bool all_converged = true;
+
+  /// Table IV histogram: chunk count per selected block size.
+  [[nodiscard]] std::map<int, int> block_size_counts() const;
+};
+
+struct DynamicBlockOptions {
+  SolverOptions solver;
+  int max_block = 0;  ///< 0 = unlimited; paper caps at n_eig / p
+  bool enabled = true;  ///< false = fixed block size fixed_block
+  int fixed_block = 1;
+};
+
+/// Solve A Y = B for all columns of B, choosing block sizes per
+/// Algorithm 4. `y` carries initial guesses in, solutions out.
+DynamicBlockReport solve_dynamic_block(const BlockOpC& a,
+                                       const la::Matrix<cplx>& b,
+                                       la::Matrix<cplx>& y,
+                                       const DynamicBlockOptions& opts);
+
+}  // namespace rsrpa::solver

@@ -1,0 +1,42 @@
+#include "solver/galerkin_guess.hpp"
+
+#include "la/blas.hpp"
+
+namespace rsrpa::solver {
+
+la::Matrix<la::cplx> galerkin_initial_guess(const la::Matrix<double>& psi,
+                                            const std::vector<double>& evals,
+                                            double lambda_j, double omega,
+                                            const la::Matrix<double>& b) {
+  const std::size_t n = psi.rows(), ns = psi.cols(), s = b.cols();
+  RSRPA_REQUIRE(evals.size() == ns && b.rows() == n);
+
+  // C = Psi^T B (real), then scale row m by 1/(lambda_m - lambda_j + i w).
+  la::Matrix<double> c(ns, s);
+  la::gemm_tn(1.0, psi, b, 0.0, c);
+
+  la::Matrix<double> c_re(ns, s), c_im(ns, s);
+  for (std::size_t m = 0; m < ns; ++m) {
+    const double dr = evals[m] - lambda_j;
+    const double denom = dr * dr + omega * omega;
+    // 1/(dr + i w) = (dr - i w)/denom.
+    const double fr = dr / denom;
+    const double fi = -omega / denom;
+    for (std::size_t j = 0; j < s; ++j) {
+      c_re(m, j) = fr * c(m, j);
+      c_im(m, j) = fi * c(m, j);
+    }
+  }
+
+  // Y0 = Psi * C (complex) done as two real products.
+  la::Matrix<double> y_re(n, s), y_im(n, s);
+  la::gemm_nn(1.0, psi, c_re, 0.0, y_re);
+  la::gemm_nn(1.0, psi, c_im, 0.0, y_im);
+
+  la::Matrix<la::cplx> y0(n, s);
+  for (std::size_t j = 0; j < s; ++j)
+    for (std::size_t i = 0; i < n; ++i) y0(i, j) = {y_re(i, j), y_im(i, j)};
+  return y0;
+}
+
+}  // namespace rsrpa::solver

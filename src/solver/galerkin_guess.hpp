@@ -1,0 +1,28 @@
+// Galerkin-projection initial guess — Eq. (13) of the paper.
+//
+// The Sternheimer coefficient matrix A_{j,k} = H - lambda_j I + i omega_k I
+// shares the eigenvectors Psi of H computed in the prior KS-DFT step, with
+// eigenvalues shifted by (-lambda_j + i omega_k). Projecting the right-hand
+// side onto the known occupied manifold,
+//
+//   Y_0 = Psi (E - lambda_j I + i omega_k I)^{-1} Psi^T B,
+//
+// deflates the most negative real-part eigenvectors from the initial
+// residual, taming the near-(n_s, l) systems (paper SS III-F).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace rsrpa::solver {
+
+/// Compute Y_0 for the real right-hand-side block `b`. `psi` holds the n_s
+/// l2-orthonormal eigenvectors of H column-wise, `evals` their
+/// eigenvalues.
+la::Matrix<la::cplx> galerkin_initial_guess(const la::Matrix<double>& psi,
+                                            const std::vector<double>& evals,
+                                            double lambda_j, double omega,
+                                            const la::Matrix<double>& b);
+
+}  // namespace rsrpa::solver

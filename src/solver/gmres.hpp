@@ -1,0 +1,26 @@
+// Restarted GMRES — the no-short-recurrence baseline of the paper.
+//
+// The paper motivates COCG by noting that GMRES "becomes computationally
+// expensive as the iteration count grows due to lacking a short-term
+// recurrence" (SS III-B). This implementation exists to demonstrate that
+// trade-off in the A2 ablation: it stores the full Arnoldi basis per
+// restart cycle and orthogonalizes each new direction against all of it.
+#pragma once
+
+#include "solver/operator.hpp"
+
+namespace rsrpa::solver {
+
+struct GmresOptions {
+  int max_iter = 1000;   ///< total Arnoldi steps across restarts
+  int restart = 50;      ///< Krylov dimension per cycle
+  double tol = 1e-10;    ///< relative residual
+  bool record_history = false;
+};
+
+/// Solve A y = b (single right-hand side) with restarted GMRES; `y`
+/// carries the initial guess in and the solution out.
+SolveReport gmres(const BlockOpC& a, std::span<const cplx> b,
+                  std::span<cplx> y, const GmresOptions& opts = {});
+
+}  // namespace rsrpa::solver

@@ -1,0 +1,36 @@
+// Operator and report types shared by the Krylov solvers.
+//
+// The solvers are matrix-free: a coefficient operator is any callable
+// applying A to a block of complex vectors. The Sternheimer systems bind
+// this to Hamiltonian::apply_shifted_block; unit tests bind it to small
+// dense matrices.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace rsrpa::solver {
+
+using la::cplx;
+
+/// out = A * in for a block of complex vectors (same shapes).
+using BlockOpC = std::function<void(const la::Matrix<cplx>&, la::Matrix<cplx>&)>;
+
+struct SolverOptions {
+  int max_iter = 1000;
+  double tol = 1e-10;             ///< relative Frobenius residual (Eq. 10)
+  double breakdown_tol = 1e-14;   ///< pivot-ratio floor for s x s solves
+  bool record_history = false;    ///< store per-iteration relative residuals
+};
+
+struct SolveReport {
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+  long matvec_columns = 0;  ///< # of single-vector operator applications
+  std::vector<double> history;  ///< per-iteration relres if recorded
+};
+
+}  // namespace rsrpa::solver

@@ -1,0 +1,46 @@
+// Inverse-Laplacian preconditioning for the Sternheimer systems — the
+// paper's SS V future-work item, implemented here for the A4 ablation.
+//
+// The dominant term of A_{j,k} = H - lambda_j I + i omega_k I is the
+// kinetic operator -1/2 Laplacian, so M = sigma0 I + 1/2 (-Laplacian) is a
+// natural real SPD preconditioner with a fast spectral (Kronecker) apply.
+// To keep the preconditioned operator complex SYMMETRIC (the property
+// COCG needs), the split form M^{-1/2} A M^{-1/2} is used:
+//
+//   solve  (M^{-1/2} A M^{-1/2}) Yt = M^{-1/2} B,   Y = M^{-1/2} Yt.
+#pragma once
+
+#include "poisson/kronecker.hpp"
+#include "solver/operator.hpp"
+
+namespace rsrpa::solver {
+
+/// Applies M^{-1/2} with M = sigma0 I - 1/2 Laplacian to a complex block
+/// (spectrally, via the Kronecker decomposition; real and imaginary parts
+/// are independent).
+class ShiftedLaplacianPrecond {
+ public:
+  ShiftedLaplacianPrecond(const poisson::KroneckerLaplacian& klap,
+                          double sigma0);
+
+  void apply_inv_sqrt(const la::Matrix<cplx>& in, la::Matrix<cplx>& out) const;
+
+ private:
+  const poisson::KroneckerLaplacian& klap_;
+  double sigma0_;
+};
+
+/// Wrap an operator into its split-preconditioned form
+/// A' = M^{-1/2} A M^{-1/2}; A' is complex symmetric whenever A is.
+BlockOpC make_split_preconditioned_op(const BlockOpC& a,
+                                      const ShiftedLaplacianPrecond& precond);
+
+/// Convenience driver: full split-preconditioned block COCG solve of
+/// A Y = B (handles the right-hand-side and solution transforms).
+SolveReport preconditioned_block_cocg(const BlockOpC& a,
+                                      const ShiftedLaplacianPrecond& precond,
+                                      const la::Matrix<cplx>& b,
+                                      la::Matrix<cplx>& y,
+                                      const SolverOptions& opts = {});
+
+}  // namespace rsrpa::solver

@@ -1,0 +1,20 @@
+// Simplified QMR for complex symmetric systems (Freund 1992 — the paper's
+// ref [39]).
+//
+// Same short-term Lanczos-type recurrence as COCG but with quasi-minimal
+// residual smoothing, removing the erratic residual spikes COCG shows on
+// highly indefinite spectra (the near-(n_s, l) Sternheimer systems). One
+// operator application per iteration, O(n) updates — a drop-in companion
+// for the A2-style solver comparisons.
+#pragma once
+
+#include "solver/operator.hpp"
+
+namespace rsrpa::solver {
+
+/// Solve A y = b with A = A^T complex symmetric; `y` carries the initial
+/// guess in and the solution out.
+SolveReport qmr_sym(const BlockOpC& a, std::span<const cplx> b,
+                    std::span<cplx> y, const SolverOptions& opts = {});
+
+}  // namespace rsrpa::solver

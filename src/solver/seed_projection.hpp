@@ -1,0 +1,35 @@
+// Seed projection for multiple right-hand sides — the ALTERNATIVE the
+// paper considers and rejects in SS II ("seed methods are not considered
+// in this work ... right-hand side vectors are effectively random").
+//
+// Implemented here so the A5 ablation can test that claim: solve one seed
+// system with COCG while storing the A-conjugate direction basis, then
+// Galerkin-project the remaining right-hand sides onto the seed Krylov
+// subspace. Because COCG directions satisfy p_i^T A p_j = delta_ij mu_i
+// in the unconjugated bilinear form, the projection is a cheap diagonal
+// solve:  y0 = sum_j p_j (p_j^T b) / mu_j.
+#pragma once
+
+#include "solver/operator.hpp"
+
+namespace rsrpa::solver {
+
+/// The stored seed Krylov data: COCG search directions and their
+/// conjugacy scalars mu_j = p_j^T A p_j.
+struct SeedBasis {
+  la::Matrix<cplx> directions;  ///< n x k, one column per iteration
+  std::vector<cplx> mu;         ///< conjugacy scalars, size k
+};
+
+/// COCG on A y = b that additionally records the direction basis.
+/// Identical iterates to cocg(); memory grows by one n-vector/iteration.
+SolveReport cocg_store_basis(const BlockOpC& a, std::span<const cplx> b,
+                             std::span<cplx> y, SeedBasis& basis,
+                             const SolverOptions& opts = {});
+
+/// Galerkin projection of right-hand sides onto the seed subspace:
+/// returns initial guesses Y0 (one column per column of b).
+la::Matrix<cplx> seed_project(const SeedBasis& basis,
+                              const la::Matrix<cplx>& b);
+
+}  // namespace rsrpa::solver

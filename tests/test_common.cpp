@@ -1,0 +1,158 @@
+// Unit tests for the common utilities: config parsing, timers, RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace rsrpa {
+namespace {
+
+TEST(Config, ParsesArtifactStyleInput) {
+  const std::string text =
+      "N_NUCHI_EIGS: 768\n"
+      "N_OMEGA: 8\n"
+      "TOL_EIG: 4e-3 2e-3 5e-4 5e-4 5e-4 5e-4 5e-4 5e-4\n"
+      "TOL_STERN_RES: 1e-2\n"
+      "MAXIT_FILTERING: 10\n"
+      "CHEB_DEGREE_RPA: 2\n"
+      "FLAG_PQ_OPERATOR: 0\n"
+      "FLAG_COCGINITIAL: 1\n";
+  Config cfg = Config::parse(text);
+  EXPECT_EQ(cfg.get_int("N_NUCHI_EIGS"), 768);
+  EXPECT_EQ(cfg.get_int("N_OMEGA"), 8);
+  EXPECT_DOUBLE_EQ(cfg.get_double("TOL_STERN_RES"), 1e-2);
+  const auto tols = cfg.get_doubles("TOL_EIG");
+  ASSERT_EQ(tols.size(), 8u);
+  EXPECT_DOUBLE_EQ(tols[0], 4e-3);
+  EXPECT_DOUBLE_EQ(tols[7], 5e-4);
+  EXPECT_EQ(cfg.get_int("FLAG_COCGINITIAL"), 1);
+}
+
+TEST(Config, IgnoresCommentsAndBlankLines) {
+  Config cfg = Config::parse("# header comment\n\nA: 1  # trailing\n   \nB: 2\n");
+  EXPECT_EQ(cfg.get_int("A"), 1);
+  EXPECT_EQ(cfg.get_int("B"), 2);
+  EXPECT_EQ(cfg.keys().size(), 2u);
+}
+
+TEST(Config, MissingKeyThrows) {
+  Config cfg = Config::parse("A: 1\n");
+  EXPECT_THROW((void)cfg.get_int("B"), Error);
+  EXPECT_EQ(cfg.get_int_or("B", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.get_double_or("B", 2.5), 2.5);
+}
+
+TEST(Config, MalformedValueThrows) {
+  Config cfg = Config::parse("A: xyz\n");
+  EXPECT_THROW((void)cfg.get_int("A"), Error);
+  EXPECT_THROW((void)cfg.get_double("A"), Error);
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW(Config::parse("no colon here\n"), Error);
+}
+
+TEST(Config, SetOverridesValue) {
+  Config cfg = Config::parse("A: 1\n");
+  cfg.set("A", "5");
+  EXPECT_EQ(cfg.get_int("A"), 5);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(KernelTimers, AccumulatesAndMerges) {
+  KernelTimers a;
+  a.add("matmult", 1.0);
+  a.add("matmult", 0.5);
+  a.add("eigensolve", 2.0);
+  EXPECT_DOUBLE_EQ(a.get("matmult"), 1.5);
+  EXPECT_DOUBLE_EQ(a.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(a.total(), 3.5);
+
+  KernelTimers b;
+  b.add("matmult", 2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get("matmult"), 3.5);
+
+  KernelTimers c;
+  c.add("matmult", 1.0);
+  c.merge_max(a);
+  EXPECT_DOUBLE_EQ(c.get("matmult"), 3.5);
+  EXPECT_DOUBLE_EQ(c.get("eigensolve"), 2.0);
+}
+
+TEST(KernelTimers, ScopedTimerAddsToBucket) {
+  KernelTimers t;
+  {
+    ScopedKernelTimer scoped(t, "work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(t.get("work"), 0.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, RademacherIsPlusMinusOne) {
+  Rng rng(7);
+  int plus = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.rademacher();
+    EXPECT_TRUE(v == 1.0 || v == -1.0);
+    if (v == 1.0) ++plus;
+  }
+  // Both signs occur with roughly equal frequency.
+  EXPECT_GT(plus, 350);
+  EXPECT_LT(plus, 650);
+}
+
+TEST(Rng, NormalHasApproximatelyUnitVariance) {
+  Rng rng(3);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Error, RequireMacroThrowsWithLocation) {
+  try {
+    RSRPA_REQUIRE_MSG(1 == 2, "numbers disagree");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rsrpa

@@ -1,0 +1,275 @@
+// Tests for the DFT substrate: CheFSI eigensolver, density, XC, SCF, and
+// the KsSystem handoff (gap structure of the model silicon).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "dft/density.hpp"
+#include "dft/ks_system.hpp"
+#include "dft/mixing.hpp"
+#include "dft/scf.hpp"
+#include "dft/xc.hpp"
+#include "la/blas.hpp"
+
+namespace rsrpa::dft {
+namespace {
+
+using grid::Grid3D;
+using ham::Crystal;
+using ham::Hamiltonian;
+using ham::ModelParams;
+
+// Small shared fixture: an unperturbed Si8 cell on a coarse 11^3 grid.
+std::shared_ptr<Hamiltonian> small_si8() {
+  Rng rng(0);
+  Crystal c = ham::make_silicon_chain(1, 0.0, rng);
+  Grid3D g = Grid3D::cubic(11, ham::kSiLatticeConstant);
+  return std::make_shared<Hamiltonian>(g, 4, std::move(c), ModelParams{});
+}
+
+TEST(Chefsi, ConvergesOnSmallSystem) {
+  auto h = small_si8();
+  Rng rng(7);
+  ChefsiOptions opts;
+  GroundState gs = solve_ground_state(*h, 8, opts, rng);
+  EXPECT_TRUE(gs.converged);
+  EXPECT_LE(gs.residual, opts.tol);
+  // Eigenvalues ascending and below the upper bound.
+  for (std::size_t j = 1; j < 8; ++j)
+    EXPECT_LE(gs.eigenvalues[j - 1], gs.eigenvalues[j] + 1e-12);
+  EXPECT_LT(gs.eigenvalues.back(), h->upper_bound());
+  EXPECT_GT(gs.eigenvalues.front(), h->lower_bound());
+}
+
+TEST(Chefsi, EigenpairsSatisfyResidual) {
+  auto h = small_si8();
+  Rng rng(8);
+  GroundState gs = solve_ground_state(*h, 6, ChefsiOptions{}, rng);
+  const std::size_t n = h->grid().size();
+  la::Matrix<double> hv(n, 6);
+  h->apply_block<double>(gs.orbitals, hv);
+  for (std::size_t j = 0; j < 6; ++j) {
+    double res2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = hv(i, j) - gs.eigenvalues[j] * gs.orbitals(i, j);
+      res2 += r * r;
+    }
+    EXPECT_LT(std::sqrt(res2), 1e-6);
+  }
+}
+
+TEST(Chefsi, OrbitalsAreOrthonormal) {
+  auto h = small_si8();
+  Rng rng(9);
+  GroundState gs = solve_ground_state(*h, 5, ChefsiOptions{}, rng);
+  la::Matrix<double> g5(5, 5);
+  la::gemm_tn(1.0, gs.orbitals, gs.orbitals, 0.0, g5);
+  for (std::size_t j = 0; j < 5; ++j)
+    for (std::size_t i = 0; i < 5; ++i)
+      EXPECT_NEAR(g5(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Chefsi, FilterAmplifiesLowEnd) {
+  auto h = small_si8();
+  Rng rng(10);
+  // Start from a converged low eigenvector plus a high-energy random
+  // direction; one filter pass must shrink the high-energy content.
+  GroundState gs = solve_ground_state(*h, 2, ChefsiOptions{}, rng);
+  const std::size_t n = h->grid().size();
+  la::Matrix<double> v(n, 1);
+  rng.fill_uniform(v.col(0));
+  // Project out the low eigenvectors to make it mostly high-energy.
+  for (std::size_t j = 0; j < 2; ++j) {
+    const double c = la::dot(gs.orbitals.col(j), v.col(0));
+    la::axpy(-c, gs.orbitals.col(j), v.col(0));
+  }
+  la::Matrix<double> filtered = v;
+  chebyshev_filter(*h, filtered, 8, gs.eigenvalues[1] + 0.05,
+                   h->upper_bound(), gs.eigenvalues[0]);
+  // Compare the Rayleigh quotient before and after: filtering pushes it
+  // toward the low end of the spectrum.
+  std::vector<double> hv(n);
+  h->apply<double>(v.col(0), hv);
+  const double rq_before = la::dot(v.col(0), hv) / la::dot(v.col(0), v.col(0));
+  h->apply<double>(filtered.col(0), hv);
+  const double rq_after =
+      la::dot(filtered.col(0), hv) / la::dot(filtered.col(0), filtered.col(0));
+  EXPECT_LT(rq_after, rq_before);
+}
+
+TEST(Density, IntegratesToElectronCount) {
+  auto h = small_si8();
+  Rng rng(11);
+  GroundState gs = solve_ground_state(*h, 16, ChefsiOptions{}, rng);
+  std::vector<double> rho = compute_density(gs.orbitals, h->grid());
+  for (double r : rho) EXPECT_GE(r, 0.0);
+  EXPECT_NEAR(integrate(rho, h->grid()), 32.0, 1e-8);
+}
+
+TEST(Xc, SlaterExchangeKnownValue) {
+  // At rho = 1: ex = -(3/4)(3/pi)^{1/3}, vx = (4/3) ex.
+  const XcEnergyDensity x = lda_xc(1.0);
+  const double ex_exact = -0.75 * std::cbrt(3.0 / M_PI);
+  // Correlation adds a small negative shift; exchange dominates.
+  EXPECT_LT(x.exc, ex_exact);  // ec < 0
+  EXPECT_GT(x.exc, ex_exact - 0.1);
+  EXPECT_LT(x.vxc, 0.0);
+}
+
+TEST(Xc, ZeroDensityIsZero) {
+  const XcEnergyDensity x = lda_xc(0.0);
+  EXPECT_DOUBLE_EQ(x.exc, 0.0);
+  EXPECT_DOUBLE_EQ(x.vxc, 0.0);
+}
+
+TEST(Xc, PotentialIsDerivativeOfEnergyDensity) {
+  // vxc = d(rho exc)/d rho, checked with central differences across both
+  // branches of the PZ parametrization.
+  for (double rho : {0.005, 0.05, 0.5, 2.0}) {
+    const double d = 1e-6 * rho;
+    const double ep = (rho + d) * lda_xc(rho + d).exc;
+    const double em = (rho - d) * lda_xc(rho - d).exc;
+    const double fd = (ep - em) / (2 * d);
+    EXPECT_NEAR(lda_xc(rho).vxc, fd, 5e-6 * std::abs(fd) + 1e-9) << rho;
+  }
+}
+
+TEST(Xc, CorrelationBranchesMatchAtRsOne) {
+  // The published PZ81 constants leave a well-known ~3e-5 Ha mismatch in
+  // the correlation energy density at the rs = 1 seam; check we reproduce
+  // the parametrization to that accuracy rather than an idealized joint.
+  const double rho1 = 3.0 / (4.0 * M_PI);  // rs = 1
+  const double below = lda_xc(rho1 * (1 + 1e-7)).exc;
+  const double above = lda_xc(rho1 * (1 - 1e-7)).exc;
+  EXPECT_NEAR(below, above, 1e-4);
+}
+
+TEST(KsSystem, ModelSiliconHasGapAtHalfBondFilling) {
+  auto h = small_si8();
+  Rng rng(12);
+  KsSystem sys = make_ks_system(h, 16, ChefsiOptions{}, rng);
+  EXPECT_EQ(sys.n_occ(), 16u);
+  // The bond-charge model must produce a positive HOMO-LUMO gap: the
+  // spectral property every Sternheimer difficulty claim relies on.
+  EXPECT_GT(sys.gap(), 0.01);
+  EXPECT_LT(sys.homo, 0.0);  // bound states
+}
+
+TEST(AndersonMixer, FirstStepIsDampedLinear) {
+  AndersonMixer mixer(4, 0.5);
+  std::vector<double> in = {1.0, 2.0}, out = {2.0, 4.0};
+  std::vector<double> next = mixer.mix(in, out);
+  EXPECT_DOUBLE_EQ(next[0], 1.5);
+  EXPECT_DOUBLE_EQ(next[1], 3.0);
+  EXPECT_EQ(mixer.history_size(), 1u);
+}
+
+TEST(AndersonMixer, SolvesLinearFixedPointFast) {
+  // Fixed point of g(x) = A x + c with spectral radius < 1: Anderson
+  // should reach it far faster than damped linear mixing.
+  const std::size_t n = 12;
+  Rng rng(77);
+  la::Matrix<double> a(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      a(i, j) = 0.9 / static_cast<double>(n) *
+                (i == j ? 5.0 : rng.uniform(-1, 1));
+  std::vector<double> c(n);
+  rng.fill_uniform(c);
+
+  auto g = [&](const std::vector<double>& x) {
+    std::vector<double> y = c;
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) y[i] += a(i, j) * x[j];
+    return y;
+  };
+
+  auto iterate = [&](bool anderson) {
+    std::vector<double> x(n, 0.0);
+    AndersonMixer mixer(6, 0.5);
+    int it = 0;
+    for (; it < 200; ++it) {
+      std::vector<double> y = g(x);
+      double res = 0.0;
+      for (std::size_t i = 0; i < n; ++i) res += (y[i] - x[i]) * (y[i] - x[i]);
+      if (std::sqrt(res) < 1e-10) break;
+      if (anderson) {
+        x = mixer.mix(x, y);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) x[i] = 0.5 * (x[i] + y[i]);
+      }
+    }
+    return it;
+  };
+
+  const int it_linear = iterate(false);
+  const int it_anderson = iterate(true);
+  EXPECT_LT(it_anderson, it_linear);
+  EXPECT_LT(it_anderson, 40);
+}
+
+TEST(AndersonMixer, ResetClearsHistory) {
+  AndersonMixer mixer(3, 0.4);
+  std::vector<double> in = {1.0}, out = {2.0};
+  mixer.mix(in, out);
+  mixer.mix(in, out);
+  EXPECT_GE(mixer.history_size(), 2u);
+  mixer.reset();
+  EXPECT_EQ(mixer.history_size(), 0u);
+}
+
+TEST(Scf, AndersonConvergesNoSlowerThanLinear) {
+  Rng rng(14);
+  Crystal c = ham::make_silicon_chain(1, 0.0, rng);
+  Grid3D g = Grid3D::cubic(9, ham::kSiLatticeConstant);
+  poisson::KroneckerLaplacian pois(g, 3);
+
+  auto run = [&](ScfOptions::Mixing scheme) {
+    Rng scf_rng(15);
+    Crystal cc = c;
+    Hamiltonian h(g, 3, std::move(cc), ModelParams{});
+    ScfOptions opts;
+    opts.scheme = scheme;
+    opts.tol = 1e-6;
+    opts.max_iter = 40;
+    return run_scf(h, pois, 16, opts, scf_rng);
+  };
+  ScfResult lin = run(ScfOptions::Mixing::kLinear);
+  ScfResult and_ = run(ScfOptions::Mixing::kAnderson);
+  EXPECT_TRUE(lin.converged);
+  EXPECT_TRUE(and_.converged);
+  EXPECT_LE(and_.iterations, lin.iterations + 2);
+  // Both reach the same fixed point.
+  EXPECT_NEAR(and_.band_energy, lin.band_energy, 1e-3);
+}
+
+TEST(Scf, ConvergesAndKeepsElectronCount) {
+  Rng rng(13);
+  Crystal c = ham::make_silicon_chain(1, 0.0, rng);
+  Grid3D g = Grid3D::cubic(11, ham::kSiLatticeConstant);
+  Hamiltonian h(g, 4, std::move(c), ModelParams{});
+  poisson::KroneckerLaplacian pois(g, 4);
+  ScfOptions opts;
+  opts.max_iter = 25;
+  opts.tol = 1e-5;
+  ScfResult res = run_scf(h, pois, 16, opts, rng);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(integrate(res.density, g), 32.0, 1e-6);
+  // Eigenpairs are consistent with the final Hamiltonian.
+  const std::size_t n = g.size();
+  la::Matrix<double> hv(n, 16);
+  h.apply_block<double>(res.gs.orbitals, hv);
+  for (std::size_t j = 0; j < 16; ++j) {
+    double res2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = hv(i, j) - res.gs.eigenvalues[j] * res.gs.orbitals(i, j);
+      res2 += r * r;
+    }
+    EXPECT_LT(std::sqrt(res2), 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace rsrpa::dft

@@ -1,0 +1,476 @@
+// Unit and property tests for the dense linear algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/rng.hpp"
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/eig.hpp"
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+#include "la/qr.hpp"
+
+namespace rsrpa::la {
+namespace {
+
+Matrix<double> random_matrix(std::size_t m, std::size_t n, Rng& rng) {
+  Matrix<double> a(m, n);
+  for (std::size_t j = 0; j < n; ++j) rng.fill_uniform(a.col(j));
+  return a;
+}
+
+Matrix<cplx> random_cmatrix(std::size_t m, std::size_t n, Rng& rng) {
+  Matrix<cplx> a(m, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i)
+      a(i, j) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return a;
+}
+
+Matrix<double> random_spd(std::size_t n, Rng& rng) {
+  Matrix<double> b = random_matrix(n, n, rng);
+  Matrix<double> spd(n, n);
+  gemm_tn(1.0, b, b, 0.0, spd);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+Matrix<double> random_symmetric(std::size_t n, Rng& rng) {
+  Matrix<double> a = random_matrix(n, n, rng);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < j; ++i) a(i, j) = a(j, i);
+  return a;
+}
+
+TEST(Matrix, BasicAccessAndColumnViews) {
+  Matrix<double> a(3, 2);
+  a(0, 0) = 1.0;
+  a(2, 1) = 5.0;
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 2u);
+  auto c1 = a.col(1);
+  EXPECT_DOUBLE_EQ(c1[2], 5.0);
+  c1[0] = 7.0;
+  EXPECT_DOUBLE_EQ(a(0, 1), 7.0);
+}
+
+TEST(Matrix, SliceAndSetColsRoundTrip) {
+  Rng rng(11);
+  Matrix<double> a = random_matrix(5, 6, rng);
+  Matrix<double> s = a.slice_cols(2, 3);
+  Matrix<double> b(5, 6);
+  b.set_cols(2, s);
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t i = 0; i < 5; ++i)
+      EXPECT_DOUBLE_EQ(b(i, 2 + j), a(i, 2 + j));
+}
+
+TEST(Matrix, TransposeIdentityAndInvolution) {
+  Rng rng(5);
+  Matrix<double> a = random_matrix(4, 7, rng);
+  Matrix<double> att = a.transposed().transposed();
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      EXPECT_DOUBLE_EQ(att(i, j), a(i, j));
+}
+
+TEST(Blas1, DotAxpyNrm2) {
+  std::vector<double> x = {1, 2, 3}, y = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+  EXPECT_DOUBLE_EQ(nrm2(std::span<const double>(x)), std::sqrt(14.0));
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+}
+
+TEST(Blas1, ComplexDotConventions) {
+  std::vector<cplx> x = {{1, 1}, {0, 2}}, y = {{2, 0}, {1, -1}};
+  // Unconjugated: (1+i)*2 + 2i*(1-i) = 2+2i + 2i+2 = 4+4i
+  const cplx u = dot_u(x, y);
+  EXPECT_DOUBLE_EQ(u.real(), 4.0);
+  EXPECT_DOUBLE_EQ(u.imag(), 4.0);
+  // Conjugated: conj(1+i)*2 + conj(2i)*(1-i) = 2-2i + (-2i)(1-i) = 2-2i -2i-2
+  const cplx c = dot_c(x, y);
+  EXPECT_DOUBLE_EQ(c.real(), 0.0);
+  EXPECT_DOUBLE_EQ(c.imag(), -4.0);
+}
+
+TEST(Gemm, MatchesNaiveReference) {
+  Rng rng(1);
+  const std::size_t m = 17, k = 9, n = 13;
+  Matrix<double> a = random_matrix(m, k, rng);
+  Matrix<double> b = random_matrix(k, n, rng);
+  Matrix<double> c(m, n);
+  gemm_nn(1.0, a, b, 0.0, c);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) {
+      double ref = 0.0;
+      for (std::size_t p = 0; p < k; ++p) ref += a(i, p) * b(p, j);
+      EXPECT_NEAR(c(i, j), ref, 1e-12);
+    }
+}
+
+TEST(Gemm, AlphaBetaScaling) {
+  Rng rng(2);
+  Matrix<double> a = random_matrix(6, 4, rng);
+  Matrix<double> b = random_matrix(4, 5, rng);
+  Matrix<double> c0 = random_matrix(6, 5, rng);
+  Matrix<double> c = c0;
+  gemm_nn(2.0, a, b, 3.0, c);
+  Matrix<double> ab(6, 5);
+  gemm_nn(1.0, a, b, 0.0, ab);
+  for (std::size_t j = 0; j < 5; ++j)
+    for (std::size_t i = 0; i < 6; ++i)
+      EXPECT_NEAR(c(i, j), 2.0 * ab(i, j) + 3.0 * c0(i, j), 1e-12);
+}
+
+TEST(Gemm, TransposeVariantAgainstExplicitTranspose) {
+  Rng rng(3);
+  Matrix<double> a = random_matrix(20, 6, rng);
+  Matrix<double> b = random_matrix(20, 7, rng);
+  Matrix<double> c(6, 7), ref(6, 7);
+  gemm_tn(1.0, a, b, 0.0, c);
+  Matrix<double> at = a.transposed();
+  gemm_nn(1.0, at, b, 0.0, ref);
+  for (std::size_t j = 0; j < 7; ++j)
+    for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(c(i, j), ref(i, j), 1e-12);
+}
+
+TEST(Gemm, ComplexUnconjugatedVsConjugated) {
+  Rng rng(4);
+  Matrix<cplx> a = random_cmatrix(10, 3, rng);
+  Matrix<cplx> b = random_cmatrix(10, 4, rng);
+  Matrix<cplx> t(3, 4), h(3, 4);
+  gemm_tn(cplx{1, 0}, a, b, cplx{0, 0}, t);
+  gemm_hn(cplx{1, 0}, a, b, cplx{0, 0}, h);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 3; ++i) {
+      cplx rt{}, rh{};
+      for (std::size_t p = 0; p < 10; ++p) {
+        rt += a(p, i) * b(p, j);
+        rh += std::conj(a(p, i)) * b(p, j);
+      }
+      EXPECT_NEAR(std::abs(t(i, j) - rt), 0.0, 1e-12);
+      EXPECT_NEAR(std::abs(h(i, j) - rh), 0.0, 1e-12);
+    }
+}
+
+TEST(Lu, SolvesRandomRealSystem) {
+  Rng rng(6);
+  const std::size_t n = 30;
+  Matrix<double> a = random_matrix(n, n, rng);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 5.0;
+  Matrix<double> x_true = random_matrix(n, 3, rng);
+  Matrix<double> b(n, 3);
+  gemm_nn(1.0, a, x_true, 0.0, b);
+  Lu<double> f(a);
+  f.solve_inplace(b);
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(b(i, j), x_true(i, j), 1e-9);
+}
+
+TEST(Lu, SolvesComplexSymmetricSystem) {
+  Rng rng(7);
+  const std::size_t n = 20;
+  // Complex symmetric (A = A^T, not Hermitian), as in the Sternheimer ops.
+  Matrix<cplx> a(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i <= j; ++i) {
+      const cplx v{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += cplx{4.0, 2.0};
+  Matrix<cplx> x_true = random_cmatrix(n, 2, rng);
+  Matrix<cplx> b(n, 2);
+  gemm_nn(cplx{1, 0}, a, x_true, cplx{0, 0}, b);
+  Lu<cplx> f(a);
+  f.solve_inplace(b);
+  for (std::size_t j = 0; j < 2; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(std::abs(b(i, j) - x_true(i, j)), 0.0, 1e-9);
+}
+
+TEST(Lu, SingularMatrixThrowsBreakdown) {
+  Matrix<double> a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;  // third row/col all zero
+  EXPECT_THROW(Lu<double>{a}, NumericalBreakdown);
+}
+
+TEST(Lu, DetOfKnownMatrix) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 3;
+  a(0, 1) = 1;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  Lu<double> f(a);
+  EXPECT_NEAR(f.det(), 10.0, 1e-12);
+}
+
+TEST(Lu, PivotRatioDetectsIllConditioning) {
+  Rng rng(8);
+  Matrix<double> well = random_spd(10, rng);
+  Matrix<double> ill = well;
+  for (std::size_t j = 0; j < 10; ++j) ill(9, j) = well(8, j) * (1 + 1e-13);
+  Lu<double> fw(well), fi(ill);
+  EXPECT_GT(fw.pivot_ratio(), 1e-6);
+  EXPECT_LT(fi.pivot_ratio(), 1e-8);
+}
+
+TEST(Cholesky, FactorsAndSolves) {
+  Rng rng(9);
+  const std::size_t n = 25;
+  Matrix<double> a = random_spd(n, rng);
+  Matrix<double> x_true = random_matrix(n, 2, rng);
+  Matrix<double> b(n, 2);
+  gemm_nn(1.0, a, x_true, 0.0, b);
+  Cholesky chol(a);
+  chol.solve_inplace(b);
+  for (std::size_t j = 0; j < 2; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(b(i, j), x_true(i, j), 1e-9);
+}
+
+TEST(Cholesky, FactorReconstructsMatrix) {
+  Rng rng(10);
+  const std::size_t n = 12;
+  Matrix<double> a = random_spd(n, rng);
+  Cholesky chol(a);
+  const Matrix<double>& l = chol.l();
+  Matrix<double> lt = l.transposed();
+  Matrix<double> rec(n, n);
+  gemm_nn(1.0, l, lt, 0.0, rec);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(rec(i, j), a(i, j), 1e-9);
+}
+
+TEST(Cholesky, IndefiniteThrows) {
+  Matrix<double> a = Matrix<double>::identity(3);
+  a(2, 2) = -1.0;
+  EXPECT_THROW(Cholesky{a}, NumericalBreakdown);
+}
+
+TEST(Cholesky, RightBackwardSolve) {
+  Rng rng(12);
+  const std::size_t n = 8;
+  Matrix<double> b = random_spd(n, rng);
+  Cholesky chol(b);
+  Matrix<double> c = random_matrix(5, n, rng);
+  Matrix<double> orig = c;
+  chol.right_backward_t_inplace(c);
+  // Verify C_new * L^T == C_orig.
+  Matrix<double> lt = chol.l().transposed();
+  Matrix<double> rec(5, n);
+  gemm_nn(1.0, c, lt, 0.0, rec);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < 5; ++i)
+      EXPECT_NEAR(rec(i, j), orig(i, j), 1e-10);
+}
+
+TEST(SymEig, DiagonalMatrix) {
+  Matrix<double> a(4, 4);
+  a(0, 0) = 3.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 7.0;
+  a(3, 3) = 0.5;
+  EigResult r = sym_eig(a);
+  ASSERT_EQ(r.values.size(), 4u);
+  EXPECT_NEAR(r.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 0.5, 1e-12);
+  EXPECT_NEAR(r.values[2], 3.0, 1e-12);
+  EXPECT_NEAR(r.values[3], 7.0, 1e-12);
+}
+
+TEST(SymEig, ResidualAndOrthogonality) {
+  Rng rng(13);
+  const std::size_t n = 40;
+  Matrix<double> a = random_symmetric(n, rng);
+  EigResult r = sym_eig(a);
+  // A V = V D
+  Matrix<double> av(n, n);
+  gemm_nn(1.0, a, r.vectors, 0.0, av);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(av(i, j), r.values[j] * r.vectors(i, j), 1e-8);
+  // V^T V = I
+  Matrix<double> vtv(n, n);
+  gemm_tn(1.0, r.vectors, r.vectors, 0.0, vtv);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(SymEig, TracePreserved) {
+  Rng rng(14);
+  const std::size_t n = 30;
+  Matrix<double> a = random_symmetric(n, rng);
+  double tr = 0.0;
+  for (std::size_t i = 0; i < n; ++i) tr += a(i, i);
+  EigResult r = sym_eig(a);
+  double sum = 0.0;
+  for (double v : r.values) sum += v;
+  EXPECT_NEAR(sum, tr, 1e-9);
+}
+
+TEST(SymEig, ValuesOnlyAgreesWithFull) {
+  Rng rng(15);
+  Matrix<double> a = random_symmetric(25, rng);
+  EigResult full = sym_eig(a);
+  std::vector<double> vals = sym_eigvals(a);
+  ASSERT_EQ(vals.size(), full.values.size());
+  for (std::size_t i = 0; i < vals.size(); ++i)
+    EXPECT_NEAR(vals[i], full.values[i], 1e-9);
+}
+
+TEST(SymEigGen, ReducesToStandardWhenBIsIdentity) {
+  Rng rng(16);
+  const std::size_t n = 15;
+  Matrix<double> a = random_symmetric(n, rng);
+  EigResult std_r = sym_eig(a);
+  EigResult gen_r = sym_eig_gen(a, Matrix<double>::identity(n));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(gen_r.values[i], std_r.values[i], 1e-9);
+}
+
+TEST(SymEigGen, SatisfiesGeneralizedResidual) {
+  Rng rng(17);
+  const std::size_t n = 20;
+  Matrix<double> a = random_symmetric(n, rng);
+  Matrix<double> b = random_spd(n, rng);
+  EigResult r = sym_eig_gen(a, b);
+  Matrix<double> av(n, n), bv(n, n);
+  gemm_nn(1.0, a, r.vectors, 0.0, av);
+  gemm_nn(1.0, b, r.vectors, 0.0, bv);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(av(i, j), r.values[j] * bv(i, j), 1e-7);
+  // B-orthonormality: V^T B V = I.
+  Matrix<double> vtbv(n, n);
+  gemm_tn(1.0, r.vectors, bv, 0.0, vtbv);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(vtbv(i, j), i == j ? 1.0 : 0.0, 1e-8);
+}
+
+TEST(TridiagEig, KnownLaplacianSpectrum) {
+  // 1D Dirichlet Laplacian tridiag(-1, 2, -1): eigenvalues
+  // 2 - 2 cos(k pi / (n+1)).
+  const std::size_t n = 16;
+  std::vector<double> d(n, 2.0), e(n - 1, -1.0);
+  std::vector<double> vals = tridiag_eigvals(d, e);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const double expected = 2.0 - 2.0 * std::cos(M_PI * k / (n + 1));
+    EXPECT_NEAR(vals[k - 1], expected, 1e-10);
+  }
+}
+
+TEST(TridiagEig, VectorsSatisfyResidual) {
+  const std::size_t n = 10;
+  std::vector<double> d(n), e(n - 1);
+  Rng rng(18);
+  for (auto& v : d) v = rng.uniform(-1, 1);
+  for (auto& v : e) v = rng.uniform(-1, 1);
+  EigResult r = tridiag_eig(d, e);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = d[i] * r.vectors(i, j);
+      if (i > 0) av += e[i - 1] * r.vectors(i - 1, j);
+      if (i + 1 < n) av += e[i] * r.vectors(i + 1, j);
+      EXPECT_NEAR(av, r.values[j] * r.vectors(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(Qr, CholeskyQrOrthonormalizes) {
+  Rng rng(19);
+  Matrix<double> v = random_matrix(50, 8, rng);
+  Matrix<double> orig = v;
+  cholesky_qr(v);
+  Matrix<double> g(8, 8);
+  gemm_tn(1.0, v, v, 0.0, g);
+  for (std::size_t j = 0; j < 8; ++j)
+    for (std::size_t i = 0; i < 8; ++i)
+      EXPECT_NEAR(g(i, j), i == j ? 1.0 : 0.0, 1e-10);
+  // Range is preserved: orig = v * (v^T orig).
+  Matrix<double> coef(8, 8), rec(50, 8);
+  gemm_tn(1.0, v, orig, 0.0, coef);
+  gemm_nn(1.0, v, coef, 0.0, rec);
+  for (std::size_t j = 0; j < 8; ++j)
+    for (std::size_t i = 0; i < 50; ++i)
+      EXPECT_NEAR(rec(i, j), orig(i, j), 1e-9);
+}
+
+TEST(Qr, HouseholderHandlesNearDependentColumns) {
+  Rng rng(20);
+  Matrix<double> v = random_matrix(40, 4, rng);
+  // Make column 3 nearly equal to column 0.
+  for (std::size_t i = 0; i < 40; ++i) v(i, 3) = v(i, 0) + 1e-12 * v(i, 1);
+  householder_qr(v);
+  Matrix<double> g(4, 4);
+  gemm_tn(1.0, v, v, 0.0, g);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_NEAR(g(i, j), i == j ? 1.0 : 0.0, 1e-8);
+}
+
+TEST(Qr, OrthonormalizeFallsBackGracefully) {
+  Rng rng(21);
+  Matrix<double> v = random_matrix(30, 3, rng);
+  for (std::size_t i = 0; i < 30; ++i) v(i, 2) = 2.0 * v(i, 0);  // exact dup
+  orthonormalize(v);
+  Matrix<double> g(3, 3);
+  gemm_tn(1.0, v, v, 0.0, g);
+  EXPECT_NEAR(g(0, 0), 1.0, 1e-8);
+  EXPECT_NEAR(g(1, 1), 1.0, 1e-8);
+}
+
+TEST(NormFro, MatchesDefinition) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(norm_fro(a), 5.0);
+  EXPECT_DOUBLE_EQ(norm_max(a), 4.0);
+}
+
+// Property-style sweep: LU and Cholesky solve quality across sizes.
+class FactorSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FactorSweep, LuResidualSmall) {
+  const std::size_t n = GetParam();
+  Rng rng(100 + n);
+  Matrix<double> a = random_matrix(n, n, rng);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;
+  std::vector<double> x(n), b(n, 0.0);
+  rng.fill_uniform(x);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) b[i] += a(i, j) * x[j];
+  Lu<double> f(a);
+  f.solve_inplace(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x[i], 1e-8);
+}
+
+TEST_P(FactorSweep, EigReconstructsMatrix) {
+  const std::size_t n = GetParam();
+  Rng rng(200 + n);
+  Matrix<double> a = random_symmetric(n, rng);
+  EigResult r = sym_eig(a);
+  // A = V D V^T
+  Matrix<double> vd = r.vectors;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) vd(i, j) *= r.values[j];
+  Matrix<double> vt = r.vectors.transposed();
+  Matrix<double> rec(n, n);
+  gemm_nn(1.0, vd, vt, 0.0, rec);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(rec(i, j), a(i, j), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FactorSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64));
+
+}  // namespace
+}  // namespace rsrpa::la

@@ -1,0 +1,163 @@
+// Tests for the simulated parallel runtime: column partition, collective
+// cost model, and the rank-decomposed RPA driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "par/parallel_rpa.hpp"
+#include "rpa/presets.hpp"
+
+namespace rsrpa::par {
+namespace {
+
+TEST(ColumnPartition, CoversAllColumnsWithoutOverlap) {
+  for (std::size_t n : {7u, 16u, 96u}) {
+    for (std::size_t p : {1u, 3u, 7u}) {
+      if (p > n) continue;
+      ColumnPartition part(n, p);
+      std::size_t total = 0, expected_begin = 0;
+      for (std::size_t r = 0; r < p; ++r) {
+        EXPECT_EQ(part.begin(r), expected_begin);
+        total += part.count(r);
+        expected_begin += part.count(r);
+      }
+      EXPECT_EQ(total, n);
+    }
+  }
+}
+
+TEST(ColumnPartition, BalancedToWithinOne) {
+  ColumnPartition part(17, 5);
+  std::size_t mn = 17, mx = 0;
+  for (std::size_t r = 0; r < 5; ++r) {
+    mn = std::min(mn, part.count(r));
+    mx = std::max(mx, part.count(r));
+  }
+  EXPECT_LE(mx - mn, 1u);
+  EXPECT_EQ(part.max_block_size(), 3u);  // floor(17/5)
+}
+
+TEST(ColumnPartition, RejectsMoreRanksThanColumns) {
+  EXPECT_THROW(ColumnPartition(4, 5), Error);
+}
+
+TEST(CollectiveModel, AllreduceGrowsWithPAndBytes) {
+  CollectiveModel net;
+  EXPECT_DOUBLE_EQ(net.allreduce(1024, 1), 0.0);
+  EXPECT_LT(net.allreduce(1024, 2), net.allreduce(1024, 16));
+  EXPECT_LT(net.allreduce(1024, 8), net.allreduce(1 << 20, 8));
+}
+
+TEST(CollectiveModel, MatmultTimeHasCommunicationFloor) {
+  CollectiveModel net;
+  const double t_seq = 1.0;
+  // Perfect scaling would give t/p; the model must sit above that, gain at
+  // small p, and saturate or even regress at large p (the paper's Fig. 5
+  // shows exactly this for the tall-and-skinny ScaLAPACK matmult, whose
+  // m x m Gram allreduce grows with log p).
+  for (std::size_t p : {2u, 8u, 32u, 128u, 512u}) {
+    const double t = net.matmult_time(t_seq, 20000, 4000, p);
+    EXPECT_GT(t, t_seq / static_cast<double>(p));
+    EXPECT_LT(t, t_seq);  // still beats one rank...
+  }
+  // ...but the gain from 128 to 512 ranks has evaporated.
+  const double t128 = net.matmult_time(t_seq, 20000, 4000, 128);
+  const double t512 = net.matmult_time(t_seq, 20000, 4000, 512);
+  EXPECT_GT(t512, 0.8 * t128);
+  // Far from ideal at large p.
+  EXPECT_GT(t512, 4.0 * t_seq / 512);
+}
+
+TEST(CollectiveModel, EigensolveSaturates) {
+  CollectiveModel net;
+  const double t_seq = 2.0;
+  const double at_sat = net.eigensolve_time(t_seq, 3840, net.eigensolve_saturation);
+  const double beyond = net.eigensolve_time(t_seq, 3840, 8 * net.eigensolve_saturation);
+  // No compute gain past saturation; only added latency.
+  EXPECT_GE(beyond, at_sat);
+}
+
+class ParallelRpaTest : public ::testing::Test {
+ protected:
+  static rpa::BuiltSystem& built() {
+    static rpa::BuiltSystem b = [] {
+      rpa::SystemPreset p = rpa::make_si_preset(1, false);
+      p.grid_per_cell = 7;
+      p.n_eig_per_atom = 2;  // n_eig = 16
+      p.fd_radius = 3;
+      return rpa::build_system(p);
+    }();
+    return b;
+  }
+
+  static ParallelRpaOptions base_options() {
+    ParallelRpaOptions opts;
+    opts.rpa = built().default_rpa_options();
+    opts.rpa.n_eig = 16;
+    opts.rpa.ell = 3;
+    opts.rpa.tol_eig = {4e-3, 2e-3, 2e-3};
+    return opts;
+  }
+};
+
+TEST_F(ParallelRpaTest, EnergyIndependentOfRankCount) {
+  auto& b = built();
+  ParallelRpaOptions o1 = base_options(), o4 = base_options();
+  o1.n_ranks = 1;
+  o4.n_ranks = 4;
+  ParallelRpaResult r1 = run_parallel_rpa(b.ks, *b.klap, o1);
+  ParallelRpaResult r4 = run_parallel_rpa(b.ks, *b.klap, o4);
+  EXPECT_TRUE(r1.rpa.converged);
+  EXPECT_TRUE(r4.rpa.converged);
+  EXPECT_LT(r1.rpa.e_rpa, 0.0);
+  // The partition changes solver blocking, not mathematics: energies agree
+  // to well within the subspace tolerance.
+  EXPECT_NEAR(r1.rpa.e_rpa, r4.rpa.e_rpa,
+              5e-3 * std::abs(r1.rpa.e_rpa));
+}
+
+TEST_F(ParallelRpaTest, MatchesSerialDriverEnergy) {
+  auto& b = built();
+  ParallelRpaOptions opts = base_options();
+  opts.n_ranks = 1;
+  ParallelRpaResult par = run_parallel_rpa(b.ks, *b.klap, opts);
+  rpa::RpaResult ser = rpa::compute_rpa_energy(b.ks, *b.klap, opts.rpa);
+  EXPECT_NEAR(par.rpa.e_rpa, ser.e_rpa, 5e-3 * std::abs(ser.e_rpa));
+}
+
+TEST_F(ParallelRpaTest, RecordsPerRankTimings) {
+  auto& b = built();
+  ParallelRpaOptions opts = base_options();
+  opts.n_ranks = 4;
+  ParallelRpaResult res = run_parallel_rpa(b.ks, *b.klap, opts);
+  ASSERT_EQ(res.rank_apply_seconds.size(), 4u);
+  for (double t : res.rank_apply_seconds) EXPECT_GT(t, 0.0);
+  // Critical path >= average (load imbalance is non-negative).
+  const double avg = res.apply_work_seconds / 4.0;
+  EXPECT_GE(res.modeled.nu_chi0 + res.modeled.eval_error, avg * 0.99);
+  EXPECT_GT(res.modeled_total_seconds, 0.0);
+}
+
+TEST_F(ParallelRpaTest, BlockSizeCapFollowsPartition) {
+  auto& b = built();
+  ParallelRpaOptions opts = base_options();
+  opts.n_ranks = 8;  // cap = 16 / 8 = 2
+  ParallelRpaResult res = run_parallel_rpa(b.ks, *b.klap, opts);
+  for (const auto& [size, count] : res.rpa.stern.block_size_chunks)
+    EXPECT_LE(size, 2);
+}
+
+TEST_F(ParallelRpaTest, ModeledNuChi0TimeShrinksWithRanks) {
+  auto& b = built();
+  ParallelRpaOptions o1 = base_options(), o4 = base_options();
+  o1.n_ranks = 1;
+  o4.n_ranks = 4;
+  ParallelRpaResult r1 = run_parallel_rpa(b.ks, *b.klap, o1);
+  ParallelRpaResult r4 = run_parallel_rpa(b.ks, *b.klap, o4);
+  // The embarrassingly parallel kernel must show real speedup in the
+  // modeled time (max over ranks shrinks as columns spread out).
+  EXPECT_LT(r4.modeled.nu_chi0, r1.modeled.nu_chi0);
+}
+
+}  // namespace
+}  // namespace rsrpa::par
