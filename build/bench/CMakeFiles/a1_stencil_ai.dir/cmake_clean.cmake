@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a1_stencil_ai.dir/a1_stencil_ai.cpp.o"
+  "CMakeFiles/a1_stencil_ai.dir/a1_stencil_ai.cpp.o.d"
+  "a1_stencil_ai"
+  "a1_stencil_ai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1_stencil_ai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

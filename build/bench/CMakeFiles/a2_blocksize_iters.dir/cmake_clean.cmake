@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a2_blocksize_iters.dir/a2_blocksize_iters.cpp.o"
+  "CMakeFiles/a2_blocksize_iters.dir/a2_blocksize_iters.cpp.o.d"
+  "a2_blocksize_iters"
+  "a2_blocksize_iters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a2_blocksize_iters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3_initial_guess.dir/a3_initial_guess.cpp.o"
+  "CMakeFiles/a3_initial_guess.dir/a3_initial_guess.cpp.o.d"
+  "a3_initial_guess"
+  "a3_initial_guess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3_initial_guess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

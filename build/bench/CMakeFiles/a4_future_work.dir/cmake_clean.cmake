@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4_future_work.dir/a4_future_work.cpp.o"
+  "CMakeFiles/a4_future_work.dir/a4_future_work.cpp.o.d"
+  "a4_future_work"
+  "a4_future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a5_seed_methods.dir/a5_seed_methods.cpp.o"
+  "CMakeFiles/a5_seed_methods.dir/a5_seed_methods.cpp.o.d"
+  "a5_seed_methods"
+  "a5_seed_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a5_seed_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for a5_seed_methods.
+# This may be replaced when dependencies are built.

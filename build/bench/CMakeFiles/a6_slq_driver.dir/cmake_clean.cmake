@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a6_slq_driver.dir/a6_slq_driver.cpp.o"
+  "CMakeFiles/a6_slq_driver.dir/a6_slq_driver.cpp.o.d"
+  "a6_slq_driver"
+  "a6_slq_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a6_slq_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a7_manager_worker.dir/a7_manager_worker.cpp.o"
+  "CMakeFiles/a7_manager_worker.dir/a7_manager_worker.cpp.o.d"
+  "a7_manager_worker"
+  "a7_manager_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a7_manager_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

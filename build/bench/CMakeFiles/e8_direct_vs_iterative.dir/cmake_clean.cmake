@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_direct_vs_iterative.dir/e8_direct_vs_iterative.cpp.o"
+  "CMakeFiles/e8_direct_vs_iterative.dir/e8_direct_vs_iterative.cpp.o.d"
+  "e8_direct_vs_iterative"
+  "e8_direct_vs_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_direct_vs_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

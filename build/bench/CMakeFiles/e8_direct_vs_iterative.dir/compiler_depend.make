@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e8_direct_vs_iterative.
+# This may be replaced when dependencies are built.

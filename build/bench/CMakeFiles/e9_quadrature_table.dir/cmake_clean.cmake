@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_quadrature_table.dir/e9_quadrature_table.cpp.o"
+  "CMakeFiles/e9_quadrature_table.dir/e9_quadrature_table.cpp.o.d"
+  "e9_quadrature_table"
+  "e9_quadrature_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_quadrature_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

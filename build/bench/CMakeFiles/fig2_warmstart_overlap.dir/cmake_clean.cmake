@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_warmstart_overlap.dir/fig2_warmstart_overlap.cpp.o"
+  "CMakeFiles/fig2_warmstart_overlap.dir/fig2_warmstart_overlap.cpp.o.d"
+  "fig2_warmstart_overlap"
+  "fig2_warmstart_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_warmstart_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_complexity.dir/fig6_complexity.cpp.o"
+  "CMakeFiles/fig6_complexity.dir/fig6_complexity.cpp.o.d"
+  "fig6_complexity"
+  "fig6_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

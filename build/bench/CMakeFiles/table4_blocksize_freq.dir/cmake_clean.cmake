@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_blocksize_freq.dir/table4_blocksize_freq.cpp.o"
+  "CMakeFiles/table4_blocksize_freq.dir/table4_blocksize_freq.cpp.o.d"
+  "table4_blocksize_freq"
+  "table4_blocksize_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_blocksize_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

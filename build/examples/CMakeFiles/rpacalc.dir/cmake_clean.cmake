@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpacalc.dir/rpacalc.cpp.o"
+  "CMakeFiles/rpacalc.dir/rpacalc.cpp.o.d"
+  "rpacalc"
+  "rpacalc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpacalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

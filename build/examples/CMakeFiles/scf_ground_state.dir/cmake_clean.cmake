@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scf_ground_state.dir/scf_ground_state.cpp.o"
+  "CMakeFiles/scf_ground_state.dir/scf_ground_state.cpp.o.d"
+  "scf_ground_state"
+  "scf_ground_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scf_ground_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scf_ground_state.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sternheimer_solvers.dir/sternheimer_solvers.cpp.o"
+  "CMakeFiles/sternheimer_solvers.dir/sternheimer_solvers.cpp.o.d"
+  "sternheimer_solvers"
+  "sternheimer_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sternheimer_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

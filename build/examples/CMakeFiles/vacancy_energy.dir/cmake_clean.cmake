@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vacancy_energy.dir/vacancy_energy.cpp.o"
+  "CMakeFiles/vacancy_energy.dir/vacancy_energy.cpp.o.d"
+  "vacancy_energy"
+  "vacancy_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vacancy_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

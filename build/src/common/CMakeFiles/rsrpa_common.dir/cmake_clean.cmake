@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsrpa_common.dir/config.cpp.o"
+  "CMakeFiles/rsrpa_common.dir/config.cpp.o.d"
+  "CMakeFiles/rsrpa_common.dir/timer.cpp.o"
+  "CMakeFiles/rsrpa_common.dir/timer.cpp.o.d"
+  "librsrpa_common.a"
+  "librsrpa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsrpa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

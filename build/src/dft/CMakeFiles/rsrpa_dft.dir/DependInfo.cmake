@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dft/chefsi.cpp" "src/dft/CMakeFiles/rsrpa_dft.dir/chefsi.cpp.o" "gcc" "src/dft/CMakeFiles/rsrpa_dft.dir/chefsi.cpp.o.d"
+  "/root/repo/src/dft/density.cpp" "src/dft/CMakeFiles/rsrpa_dft.dir/density.cpp.o" "gcc" "src/dft/CMakeFiles/rsrpa_dft.dir/density.cpp.o.d"
+  "/root/repo/src/dft/ks_system.cpp" "src/dft/CMakeFiles/rsrpa_dft.dir/ks_system.cpp.o" "gcc" "src/dft/CMakeFiles/rsrpa_dft.dir/ks_system.cpp.o.d"
+  "/root/repo/src/dft/mixing.cpp" "src/dft/CMakeFiles/rsrpa_dft.dir/mixing.cpp.o" "gcc" "src/dft/CMakeFiles/rsrpa_dft.dir/mixing.cpp.o.d"
+  "/root/repo/src/dft/scf.cpp" "src/dft/CMakeFiles/rsrpa_dft.dir/scf.cpp.o" "gcc" "src/dft/CMakeFiles/rsrpa_dft.dir/scf.cpp.o.d"
+  "/root/repo/src/dft/xc.cpp" "src/dft/CMakeFiles/rsrpa_dft.dir/xc.cpp.o" "gcc" "src/dft/CMakeFiles/rsrpa_dft.dir/xc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hamiltonian/CMakeFiles/rsrpa_ham.dir/DependInfo.cmake"
+  "/root/repo/build/src/poisson/CMakeFiles/rsrpa_poisson.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rsrpa_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/rsrpa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsrpa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rsrpa_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

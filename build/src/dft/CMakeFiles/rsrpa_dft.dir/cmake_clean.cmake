@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsrpa_dft.dir/chefsi.cpp.o"
+  "CMakeFiles/rsrpa_dft.dir/chefsi.cpp.o.d"
+  "CMakeFiles/rsrpa_dft.dir/density.cpp.o"
+  "CMakeFiles/rsrpa_dft.dir/density.cpp.o.d"
+  "CMakeFiles/rsrpa_dft.dir/ks_system.cpp.o"
+  "CMakeFiles/rsrpa_dft.dir/ks_system.cpp.o.d"
+  "CMakeFiles/rsrpa_dft.dir/mixing.cpp.o"
+  "CMakeFiles/rsrpa_dft.dir/mixing.cpp.o.d"
+  "CMakeFiles/rsrpa_dft.dir/scf.cpp.o"
+  "CMakeFiles/rsrpa_dft.dir/scf.cpp.o.d"
+  "CMakeFiles/rsrpa_dft.dir/xc.cpp.o"
+  "CMakeFiles/rsrpa_dft.dir/xc.cpp.o.d"
+  "librsrpa_dft.a"
+  "librsrpa_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsrpa_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsrpa_direct.dir/dense.cpp.o"
+  "CMakeFiles/rsrpa_direct.dir/dense.cpp.o.d"
+  "CMakeFiles/rsrpa_direct.dir/direct_rpa.cpp.o"
+  "CMakeFiles/rsrpa_direct.dir/direct_rpa.cpp.o.d"
+  "librsrpa_direct.a"
+  "librsrpa_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsrpa_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

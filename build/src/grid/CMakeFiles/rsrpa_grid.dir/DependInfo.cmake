@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/fd.cpp" "src/grid/CMakeFiles/rsrpa_grid.dir/fd.cpp.o" "gcc" "src/grid/CMakeFiles/rsrpa_grid.dir/fd.cpp.o.d"
+  "/root/repo/src/grid/stencil.cpp" "src/grid/CMakeFiles/rsrpa_grid.dir/stencil.cpp.o" "gcc" "src/grid/CMakeFiles/rsrpa_grid.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/rsrpa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsrpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsrpa_grid.dir/fd.cpp.o"
+  "CMakeFiles/rsrpa_grid.dir/fd.cpp.o.d"
+  "CMakeFiles/rsrpa_grid.dir/stencil.cpp.o"
+  "CMakeFiles/rsrpa_grid.dir/stencil.cpp.o.d"
+  "librsrpa_grid.a"
+  "librsrpa_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsrpa_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hamiltonian/crystal.cpp" "src/hamiltonian/CMakeFiles/rsrpa_ham.dir/crystal.cpp.o" "gcc" "src/hamiltonian/CMakeFiles/rsrpa_ham.dir/crystal.cpp.o.d"
+  "/root/repo/src/hamiltonian/hamiltonian.cpp" "src/hamiltonian/CMakeFiles/rsrpa_ham.dir/hamiltonian.cpp.o" "gcc" "src/hamiltonian/CMakeFiles/rsrpa_ham.dir/hamiltonian.cpp.o.d"
+  "/root/repo/src/hamiltonian/nonlocal.cpp" "src/hamiltonian/CMakeFiles/rsrpa_ham.dir/nonlocal.cpp.o" "gcc" "src/hamiltonian/CMakeFiles/rsrpa_ham.dir/nonlocal.cpp.o.d"
+  "/root/repo/src/hamiltonian/potential.cpp" "src/hamiltonian/CMakeFiles/rsrpa_ham.dir/potential.cpp.o" "gcc" "src/hamiltonian/CMakeFiles/rsrpa_ham.dir/potential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/rsrpa_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/rsrpa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsrpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

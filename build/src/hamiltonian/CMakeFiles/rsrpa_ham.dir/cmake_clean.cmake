@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsrpa_ham.dir/crystal.cpp.o"
+  "CMakeFiles/rsrpa_ham.dir/crystal.cpp.o.d"
+  "CMakeFiles/rsrpa_ham.dir/hamiltonian.cpp.o"
+  "CMakeFiles/rsrpa_ham.dir/hamiltonian.cpp.o.d"
+  "CMakeFiles/rsrpa_ham.dir/nonlocal.cpp.o"
+  "CMakeFiles/rsrpa_ham.dir/nonlocal.cpp.o.d"
+  "CMakeFiles/rsrpa_ham.dir/potential.cpp.o"
+  "CMakeFiles/rsrpa_ham.dir/potential.cpp.o.d"
+  "librsrpa_ham.a"
+  "librsrpa_ham.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsrpa_ham.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsrpa_io.dir/snapshot.cpp.o"
+  "CMakeFiles/rsrpa_io.dir/snapshot.cpp.o.d"
+  "librsrpa_io.a"
+  "librsrpa_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsrpa_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsrpa_la.dir/blas.cpp.o"
+  "CMakeFiles/rsrpa_la.dir/blas.cpp.o.d"
+  "CMakeFiles/rsrpa_la.dir/cholesky.cpp.o"
+  "CMakeFiles/rsrpa_la.dir/cholesky.cpp.o.d"
+  "CMakeFiles/rsrpa_la.dir/eig.cpp.o"
+  "CMakeFiles/rsrpa_la.dir/eig.cpp.o.d"
+  "CMakeFiles/rsrpa_la.dir/lu.cpp.o"
+  "CMakeFiles/rsrpa_la.dir/lu.cpp.o.d"
+  "CMakeFiles/rsrpa_la.dir/qr.cpp.o"
+  "CMakeFiles/rsrpa_la.dir/qr.cpp.o.d"
+  "librsrpa_la.a"
+  "librsrpa_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsrpa_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

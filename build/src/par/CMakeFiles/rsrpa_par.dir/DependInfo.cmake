@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/par/collective_model.cpp" "src/par/CMakeFiles/rsrpa_par.dir/collective_model.cpp.o" "gcc" "src/par/CMakeFiles/rsrpa_par.dir/collective_model.cpp.o.d"
+  "/root/repo/src/par/load_balance.cpp" "src/par/CMakeFiles/rsrpa_par.dir/load_balance.cpp.o" "gcc" "src/par/CMakeFiles/rsrpa_par.dir/load_balance.cpp.o.d"
+  "/root/repo/src/par/parallel_rpa.cpp" "src/par/CMakeFiles/rsrpa_par.dir/parallel_rpa.cpp.o" "gcc" "src/par/CMakeFiles/rsrpa_par.dir/parallel_rpa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpa/CMakeFiles/rsrpa_rpa.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rsrpa_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/rsrpa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsrpa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dft/CMakeFiles/rsrpa_dft.dir/DependInfo.cmake"
+  "/root/repo/build/src/hamiltonian/CMakeFiles/rsrpa_ham.dir/DependInfo.cmake"
+  "/root/repo/build/src/poisson/CMakeFiles/rsrpa_poisson.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rsrpa_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsrpa_par.dir/collective_model.cpp.o"
+  "CMakeFiles/rsrpa_par.dir/collective_model.cpp.o.d"
+  "CMakeFiles/rsrpa_par.dir/load_balance.cpp.o"
+  "CMakeFiles/rsrpa_par.dir/load_balance.cpp.o.d"
+  "CMakeFiles/rsrpa_par.dir/parallel_rpa.cpp.o"
+  "CMakeFiles/rsrpa_par.dir/parallel_rpa.cpp.o.d"
+  "librsrpa_par.a"
+  "librsrpa_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsrpa_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rsrpa_par.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poisson/cg_poisson.cpp" "src/poisson/CMakeFiles/rsrpa_poisson.dir/cg_poisson.cpp.o" "gcc" "src/poisson/CMakeFiles/rsrpa_poisson.dir/cg_poisson.cpp.o.d"
+  "/root/repo/src/poisson/kronecker.cpp" "src/poisson/CMakeFiles/rsrpa_poisson.dir/kronecker.cpp.o" "gcc" "src/poisson/CMakeFiles/rsrpa_poisson.dir/kronecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/rsrpa_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/rsrpa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsrpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsrpa_poisson.dir/cg_poisson.cpp.o"
+  "CMakeFiles/rsrpa_poisson.dir/cg_poisson.cpp.o.d"
+  "CMakeFiles/rsrpa_poisson.dir/kronecker.cpp.o"
+  "CMakeFiles/rsrpa_poisson.dir/kronecker.cpp.o.d"
+  "librsrpa_poisson.a"
+  "librsrpa_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsrpa_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpa/chi0.cpp" "src/rpa/CMakeFiles/rsrpa_rpa.dir/chi0.cpp.o" "gcc" "src/rpa/CMakeFiles/rsrpa_rpa.dir/chi0.cpp.o.d"
+  "/root/repo/src/rpa/erpa.cpp" "src/rpa/CMakeFiles/rsrpa_rpa.dir/erpa.cpp.o" "gcc" "src/rpa/CMakeFiles/rsrpa_rpa.dir/erpa.cpp.o.d"
+  "/root/repo/src/rpa/erpa_slq.cpp" "src/rpa/CMakeFiles/rsrpa_rpa.dir/erpa_slq.cpp.o" "gcc" "src/rpa/CMakeFiles/rsrpa_rpa.dir/erpa_slq.cpp.o.d"
+  "/root/repo/src/rpa/nu_chi0.cpp" "src/rpa/CMakeFiles/rsrpa_rpa.dir/nu_chi0.cpp.o" "gcc" "src/rpa/CMakeFiles/rsrpa_rpa.dir/nu_chi0.cpp.o.d"
+  "/root/repo/src/rpa/presets.cpp" "src/rpa/CMakeFiles/rsrpa_rpa.dir/presets.cpp.o" "gcc" "src/rpa/CMakeFiles/rsrpa_rpa.dir/presets.cpp.o.d"
+  "/root/repo/src/rpa/quadrature.cpp" "src/rpa/CMakeFiles/rsrpa_rpa.dir/quadrature.cpp.o" "gcc" "src/rpa/CMakeFiles/rsrpa_rpa.dir/quadrature.cpp.o.d"
+  "/root/repo/src/rpa/subspace.cpp" "src/rpa/CMakeFiles/rsrpa_rpa.dir/subspace.cpp.o" "gcc" "src/rpa/CMakeFiles/rsrpa_rpa.dir/subspace.cpp.o.d"
+  "/root/repo/src/rpa/trace_est.cpp" "src/rpa/CMakeFiles/rsrpa_rpa.dir/trace_est.cpp.o" "gcc" "src/rpa/CMakeFiles/rsrpa_rpa.dir/trace_est.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dft/CMakeFiles/rsrpa_dft.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rsrpa_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/poisson/CMakeFiles/rsrpa_poisson.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/rsrpa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsrpa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hamiltonian/CMakeFiles/rsrpa_ham.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rsrpa_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

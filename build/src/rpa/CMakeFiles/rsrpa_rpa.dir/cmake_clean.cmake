@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsrpa_rpa.dir/chi0.cpp.o"
+  "CMakeFiles/rsrpa_rpa.dir/chi0.cpp.o.d"
+  "CMakeFiles/rsrpa_rpa.dir/erpa.cpp.o"
+  "CMakeFiles/rsrpa_rpa.dir/erpa.cpp.o.d"
+  "CMakeFiles/rsrpa_rpa.dir/erpa_slq.cpp.o"
+  "CMakeFiles/rsrpa_rpa.dir/erpa_slq.cpp.o.d"
+  "CMakeFiles/rsrpa_rpa.dir/nu_chi0.cpp.o"
+  "CMakeFiles/rsrpa_rpa.dir/nu_chi0.cpp.o.d"
+  "CMakeFiles/rsrpa_rpa.dir/presets.cpp.o"
+  "CMakeFiles/rsrpa_rpa.dir/presets.cpp.o.d"
+  "CMakeFiles/rsrpa_rpa.dir/quadrature.cpp.o"
+  "CMakeFiles/rsrpa_rpa.dir/quadrature.cpp.o.d"
+  "CMakeFiles/rsrpa_rpa.dir/subspace.cpp.o"
+  "CMakeFiles/rsrpa_rpa.dir/subspace.cpp.o.d"
+  "CMakeFiles/rsrpa_rpa.dir/trace_est.cpp.o"
+  "CMakeFiles/rsrpa_rpa.dir/trace_est.cpp.o.d"
+  "librsrpa_rpa.a"
+  "librsrpa_rpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsrpa_rpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

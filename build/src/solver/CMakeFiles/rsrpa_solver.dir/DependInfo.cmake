@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/block_cocg.cpp" "src/solver/CMakeFiles/rsrpa_solver.dir/block_cocg.cpp.o" "gcc" "src/solver/CMakeFiles/rsrpa_solver.dir/block_cocg.cpp.o.d"
+  "/root/repo/src/solver/block_cocr.cpp" "src/solver/CMakeFiles/rsrpa_solver.dir/block_cocr.cpp.o" "gcc" "src/solver/CMakeFiles/rsrpa_solver.dir/block_cocr.cpp.o.d"
+  "/root/repo/src/solver/chebyshev.cpp" "src/solver/CMakeFiles/rsrpa_solver.dir/chebyshev.cpp.o" "gcc" "src/solver/CMakeFiles/rsrpa_solver.dir/chebyshev.cpp.o.d"
+  "/root/repo/src/solver/cocr.cpp" "src/solver/CMakeFiles/rsrpa_solver.dir/cocr.cpp.o" "gcc" "src/solver/CMakeFiles/rsrpa_solver.dir/cocr.cpp.o.d"
+  "/root/repo/src/solver/dynamic_block.cpp" "src/solver/CMakeFiles/rsrpa_solver.dir/dynamic_block.cpp.o" "gcc" "src/solver/CMakeFiles/rsrpa_solver.dir/dynamic_block.cpp.o.d"
+  "/root/repo/src/solver/galerkin_guess.cpp" "src/solver/CMakeFiles/rsrpa_solver.dir/galerkin_guess.cpp.o" "gcc" "src/solver/CMakeFiles/rsrpa_solver.dir/galerkin_guess.cpp.o.d"
+  "/root/repo/src/solver/gmres.cpp" "src/solver/CMakeFiles/rsrpa_solver.dir/gmres.cpp.o" "gcc" "src/solver/CMakeFiles/rsrpa_solver.dir/gmres.cpp.o.d"
+  "/root/repo/src/solver/preconditioner.cpp" "src/solver/CMakeFiles/rsrpa_solver.dir/preconditioner.cpp.o" "gcc" "src/solver/CMakeFiles/rsrpa_solver.dir/preconditioner.cpp.o.d"
+  "/root/repo/src/solver/qmr_sym.cpp" "src/solver/CMakeFiles/rsrpa_solver.dir/qmr_sym.cpp.o" "gcc" "src/solver/CMakeFiles/rsrpa_solver.dir/qmr_sym.cpp.o.d"
+  "/root/repo/src/solver/seed_projection.cpp" "src/solver/CMakeFiles/rsrpa_solver.dir/seed_projection.cpp.o" "gcc" "src/solver/CMakeFiles/rsrpa_solver.dir/seed_projection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/rsrpa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsrpa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/poisson/CMakeFiles/rsrpa_poisson.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rsrpa_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

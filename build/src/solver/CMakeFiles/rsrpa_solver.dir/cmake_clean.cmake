@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsrpa_solver.dir/block_cocg.cpp.o"
+  "CMakeFiles/rsrpa_solver.dir/block_cocg.cpp.o.d"
+  "CMakeFiles/rsrpa_solver.dir/block_cocr.cpp.o"
+  "CMakeFiles/rsrpa_solver.dir/block_cocr.cpp.o.d"
+  "CMakeFiles/rsrpa_solver.dir/chebyshev.cpp.o"
+  "CMakeFiles/rsrpa_solver.dir/chebyshev.cpp.o.d"
+  "CMakeFiles/rsrpa_solver.dir/cocr.cpp.o"
+  "CMakeFiles/rsrpa_solver.dir/cocr.cpp.o.d"
+  "CMakeFiles/rsrpa_solver.dir/dynamic_block.cpp.o"
+  "CMakeFiles/rsrpa_solver.dir/dynamic_block.cpp.o.d"
+  "CMakeFiles/rsrpa_solver.dir/galerkin_guess.cpp.o"
+  "CMakeFiles/rsrpa_solver.dir/galerkin_guess.cpp.o.d"
+  "CMakeFiles/rsrpa_solver.dir/gmres.cpp.o"
+  "CMakeFiles/rsrpa_solver.dir/gmres.cpp.o.d"
+  "CMakeFiles/rsrpa_solver.dir/preconditioner.cpp.o"
+  "CMakeFiles/rsrpa_solver.dir/preconditioner.cpp.o.d"
+  "CMakeFiles/rsrpa_solver.dir/qmr_sym.cpp.o"
+  "CMakeFiles/rsrpa_solver.dir/qmr_sym.cpp.o.d"
+  "CMakeFiles/rsrpa_solver.dir/seed_projection.cpp.o"
+  "CMakeFiles/rsrpa_solver.dir/seed_projection.cpp.o.d"
+  "librsrpa_solver.a"
+  "librsrpa_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsrpa_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loadbalance.dir/test_loadbalance.cpp.o"
+  "CMakeFiles/test_loadbalance.dir/test_loadbalance.cpp.o.d"
+  "test_loadbalance"
+  "test_loadbalance.pdb"
+  "test_loadbalance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
