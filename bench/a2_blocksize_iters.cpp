@@ -18,9 +18,11 @@
 int main() {
   using namespace rsrpa;
   using la::cplx;
-  bench::header("a2_blocksize_iters", "SS III-B analysis",
-                "larger blocks cut iterations on hard systems; GMRES is the "
-                "expensive no-short-recurrence baseline");
+  bench::JsonReport report("a2_blocksize_iters", "SS III-B analysis",
+                           "larger blocks cut iterations on hard systems; "
+                           "GMRES is the expensive no-short-recurrence "
+                           "baseline");
+  obs::Json cases_json = obs::Json::array();
 
   rpa::SystemPreset preset = rpa::make_si_preset(1, false);
   preset.grid_per_cell = bench::full_scale() ? 13 : 11;
@@ -57,6 +59,12 @@ int main() {
     sopts.tol = tol;
     sopts.max_iter = 50000;
 
+    obs::Json case_rec = obs::Json::object();
+    case_rec["label"] = obs::Json(c.label);
+    case_rec["lambda"] = obs::Json(c.lambda);
+    case_rec["omega"] = obs::Json(c.omega);
+    obs::Json methods = obs::Json::array();
+
     int prev_iters = 1 << 30;
     long cocg_matvecs = 0;
     for (std::size_t s : {1u, 2u, 4u, 8u, 16u}) {
@@ -68,6 +76,14 @@ int main() {
       std::printf("  blkCOCG s=%-2zu %-8d %-14ld %-10.1f %s\n", s,
                   r.iterations, r.matvec_columns, 1e3 * t.seconds(),
                   r.converged ? "" : "(NOT CONVERGED)");
+      obs::Json mr = obs::Json::object();
+      mr["method"] = obs::Json("block_cocg");
+      mr["block_size"] = obs::Json(s);
+      mr["iterations"] = obs::Json(r.iterations);
+      mr["matvec_columns"] = obs::Json(r.matvec_columns);
+      mr["seconds"] = obs::Json(t.seconds());
+      mr["converged"] = obs::Json(r.converged);
+      methods.push_back(std::move(mr));
       // Allow small non-monotonic wiggle from inexact arithmetic.
       nonincreasing_ok = nonincreasing_ok && r.iterations <= prev_iters + 3;
       prev_iters = r.iterations;
@@ -81,6 +97,13 @@ int main() {
       auto r = solver::cocr(op, b1, y, sopts);
       std::printf("  COCR         %-8d %-14ld %-10.1f\n", r.iterations,
                   r.matvec_columns, 1e3 * t.seconds());
+      obs::Json mr = obs::Json::object();
+      mr["method"] = obs::Json("cocr");
+      mr["iterations"] = obs::Json(r.iterations);
+      mr["matvec_columns"] = obs::Json(r.matvec_columns);
+      mr["seconds"] = obs::Json(t.seconds());
+      mr["converged"] = obs::Json(r.converged);
+      methods.push_back(std::move(mr));
     }
     {
       std::vector<cplx> b1(n), y(n, cplx{});
@@ -93,17 +116,25 @@ int main() {
       auto r = solver::gmres(op, b1, y, gopts);
       std::printf("  GMRES(40)    %-8d %-14ld %-10.1f\n", r.iterations,
                   r.matvec_columns, 1e3 * t.seconds());
+      obs::Json mr = obs::Json::object();
+      mr["method"] = obs::Json("gmres40");
+      mr["iterations"] = obs::Json(r.iterations);
+      mr["matvec_columns"] = obs::Json(r.matvec_columns);
+      mr["seconds"] = obs::Json(t.seconds());
+      mr["converged"] = obs::Json(r.converged);
+      methods.push_back(std::move(mr));
       // On the restarted (hard) cases GMRES pays extra applications.
       if (c.omega < 0.1) gmres_pricier = r.matvec_columns >= cocg_matvecs;
     }
+    case_rec["methods"] = std::move(methods);
+    cases_json.push_back(std::move(case_rec));
     std::printf("\n");
   }
 
   std::printf("Checks:\n");
-  std::printf("  block iterations non-increasing with s: %s\n",
-              nonincreasing_ok ? "PASS" : "FAIL");
-  std::printf("  GMRES needs at least as many applications on the hard "
-              "system: %s\n",
-              gmres_pricier ? "PASS" : "FAIL");
-  return (nonincreasing_ok && gmres_pricier) ? 0 : 1;
+  report.data()["cases"] = std::move(cases_json);
+  report.add_check("block iterations non-increasing with s", nonincreasing_ok);
+  report.add_check("GMRES needs at least as many applications on hard system",
+                   gmres_pricier);
+  return report.finish();
 }

@@ -8,13 +8,15 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "obs/run_report.hpp"
 #include "rpa/presets.hpp"
 
 int main() {
   using namespace rsrpa;
-  bench::header("a3_initial_guess", "SS III-F (Eq. 13 + warm start)",
-                "Galerkin guess cuts solver work; warm start eliminates "
-                "filter iterations at later quadrature points");
+  bench::JsonReport report("a3_initial_guess", "SS III-F (Eq. 13 + warm start)",
+                           "Galerkin guess cuts solver work; warm start "
+                           "eliminates filter iterations at later quadrature "
+                           "points");
 
   rpa::SystemPreset preset = rpa::make_si_preset(1, false);
   preset.grid_per_cell = 9;
@@ -38,6 +40,7 @@ int main() {
       {"both off", false, false},
   };
 
+  obs::Json variants = obs::Json::array();
   for (Row& r : rows) {
     rpa::RpaOptions opts = sys.default_rpa_options();
     opts.stern.galerkin_guess = r.galerkin;
@@ -48,6 +51,13 @@ int main() {
     r.converged = res.converged;
     for (const auto& rec : res.per_omega) r.ncheb_total += rec.filter_iterations;
     r.ncheb_last = res.per_omega.back().filter_iterations;
+
+    obs::Json v = obs::Json::object();
+    v["variant"] = obs::Json(r.label);
+    v["galerkin_guess"] = obs::Json(r.galerkin);
+    v["warm_start"] = obs::Json(r.warm);
+    v["result"] = obs::to_json(res);
+    variants.push_back(std::move(v));
   }
 
   std::printf("%-20s %-14s %-10s %-12s %-12s %-6s\n", "variant",
@@ -61,11 +71,10 @@ int main() {
   const bool warm_helps = rows[0].ncheb_total < rows[2].ncheb_total;
   const bool warm_kills_last = rows[0].ncheb_last <= rows[2].ncheb_last;
   std::printf("\nChecks:\n");
-  std::printf("  Galerkin guess reduces solver applications: %s\n",
-              guess_helps ? "PASS" : "FAIL");
-  std::printf("  warm start reduces total filter iterations: %s\n",
-              warm_helps ? "PASS" : "FAIL");
-  std::printf("  warm start minimizes work at the hardest omega_l: %s\n",
-              warm_kills_last ? "PASS" : "FAIL");
-  return (guess_helps && warm_helps && warm_kills_last) ? 0 : 1;
+  report.data()["variants"] = std::move(variants);
+  report.add_check("Galerkin guess reduces solver applications", guess_helps);
+  report.add_check("warm start reduces total filter iterations", warm_helps);
+  report.add_check("warm start minimizes work at the hardest omega_l",
+                   warm_kills_last);
+  return report.finish();
 }

@@ -24,9 +24,10 @@
 int main() {
   using namespace rsrpa;
   using la::cplx;
-  bench::header("a4_future_work", "SS V future work",
-                "inverse-Laplacian preconditioning helps hard Sternheimer "
-                "systems; Lanczos quadrature can replace the eigensolve");
+  bench::JsonReport report("a4_future_work", "SS V future work",
+                           "inverse-Laplacian preconditioning helps hard "
+                           "Sternheimer systems; Lanczos quadrature can "
+                           "replace the eigensolve");
 
   rpa::SystemPreset preset = rpa::make_si_preset(1, false);
   preset.grid_per_cell = 9;
@@ -60,6 +61,7 @@ int main() {
   sopts.tol = 1e-8;
   sopts.max_iter = 50000;
   bool prec_helps_hard_iters = false;
+  obs::Json prec_rows = obs::Json::array();
 
   for (const Case& c : cases) {
     solver::BlockOpC op = [&](const la::Matrix<cplx>& in,
@@ -82,6 +84,16 @@ int main() {
     std::printf("  %-18s %-12d %-12.1f %-12d %-12.1f\n", c.label,
                 rp.iterations, 1e3 * t_plain, rq.iterations, 1e3 * t_prec);
     if (c.omega < 0.1) prec_helps_hard_iters = rq.iterations < rp.iterations;
+
+    obs::Json row = obs::Json::object();
+    row["case"] = obs::Json(c.label);
+    row["plain_iterations"] = obs::Json(rp.iterations);
+    row["plain_matvec_columns"] = obs::Json(rp.matvec_columns);
+    row["plain_seconds"] = obs::Json(t_plain);
+    row["prec_iterations"] = obs::Json(rq.iterations);
+    row["prec_matvec_columns"] = obs::Json(rq.matvec_columns);
+    row["prec_seconds"] = obs::Json(t_prec);
+    prec_rows.push_back(std::move(row));
   }
 
   // ---- (2) SLQ trace vs dense eigensolve trace ----------------------
@@ -105,6 +117,7 @@ int main() {
   Rng slq_rng(17);
   std::printf("  %-10s %-14s %-12s\n", "probes", "SLQ estimate", "rel err");
   double best_rel = 1e300;
+  obs::Json slq_rows = obs::Json::array();
   for (int probes : {8, 32, 128}) {
     const double est = rpa::slq_trace(
         mop, n, [](double x) { return rpa::rpa_trace_term(std::min(x, 0.0)); },
@@ -112,13 +125,20 @@ int main() {
     const double rel = std::abs(est - exact) / std::abs(exact);
     std::printf("  %-10d %-14.6f %-12.3e\n", probes, est, rel);
     best_rel = std::min(best_rel, rel);
+    obs::Json row = obs::Json::object();
+    row["probes"] = obs::Json(probes);
+    row["estimate"] = obs::Json(est);
+    row["rel_err"] = obs::Json(rel);
+    slq_rows.push_back(std::move(row));
   }
   std::printf("  dense eigensolve trace: %.6f\n", exact);
 
   std::printf("\nChecks:\n");
-  std::printf("  preconditioning reduces iterations on the hard system: %s\n",
-              prec_helps_hard_iters ? "PASS" : "FAIL");
-  std::printf("  SLQ reaches <5%% relative error: %s\n",
-              best_rel < 0.05 ? "PASS" : "FAIL");
-  return (prec_helps_hard_iters && best_rel < 0.05) ? 0 : 1;
+  report.data()["preconditioning"] = std::move(prec_rows);
+  report.data()["slq"] = std::move(slq_rows);
+  report.data()["exact_trace"] = obs::Json(exact);
+  report.add_check("preconditioning reduces iterations on the hard system",
+                   prec_helps_hard_iters);
+  report.add_check("SLQ reaches <5% relative error", best_rel < 0.05);
+  return report.finish();
 }

@@ -72,9 +72,10 @@ Tally solve_seeded(const rsrpa::solver::BlockOpC& op,
 
 int main() {
   using namespace rsrpa;
-  bench::header("a5_seed_methods", "SS II (seed vs block methods)",
-                "seed projection buys little for the effectively-random "
-                "Sternheimer right-hand sides; block COCG is the right tool");
+  bench::JsonReport report("a5_seed_methods", "SS II (seed vs block methods)",
+                           "seed projection buys little for the "
+                           "effectively-random Sternheimer right-hand sides; "
+                           "block COCG is the right tool");
 
   rpa::SystemPreset preset = rpa::make_si_preset(1, false);
   preset.grid_per_cell = bench::full_scale() ? 11 : 9;
@@ -141,9 +142,25 @@ int main() {
   const bool paper_claim = seed_gain_random < 0.30;  // little benefit
   const bool control_works = seed_gain_corr > seed_gain_random;
   std::printf("\nChecks:\n");
-  std::printf("  seeding saves <30%% on random RHS (paper's rationale): %s\n",
-              paper_claim ? "PASS" : "FAIL");
-  std::printf("  seeding helps MORE on correlated RHS (control): %s\n",
-              control_works ? "PASS" : "FAIL");
-  return (paper_claim && control_works) ? 0 : 1;
+  obs::Json tallies = obs::Json::object();
+  auto tally_json = [](long matvecs, int max_iters) {
+    obs::Json t = obs::Json::object();
+    t["matvec_columns"] = obs::Json(matvecs);
+    t["max_iterations"] = obs::Json(max_iters);
+    return t;
+  };
+  tallies["independent_random"] = tally_json(ind_r.matvecs, ind_r.max_iters);
+  tallies["independent_correlated"] = tally_json(ind_c.matvecs, ind_c.max_iters);
+  tallies["seeded_random"] = tally_json(seed_r.matvecs, seed_r.max_iters);
+  tallies["seeded_correlated"] = tally_json(seed_c.matvecs, seed_c.max_iters);
+  tallies["block_random"] = tally_json(rb_r.matvec_columns, rb_r.iterations);
+  tallies["block_correlated"] = tally_json(rb_c.matvec_columns, rb_c.iterations);
+  report.data()["tallies"] = std::move(tallies);
+  report.data()["seed_gain_random"] = obs::Json(seed_gain_random);
+  report.data()["seed_gain_correlated"] = obs::Json(seed_gain_corr);
+  report.add_check("seeding saves <30% on random RHS (paper's rationale)",
+                   paper_claim);
+  report.add_check("seeding helps MORE on correlated RHS (control)",
+                   control_works);
+  return report.finish();
 }

@@ -12,14 +12,16 @@
 
 #include "bench_util.hpp"
 #include "direct/direct_rpa.hpp"
+#include "obs/run_report.hpp"
 #include "rpa/erpa_slq.hpp"
 #include "rpa/presets.hpp"
 
 int main() {
   using namespace rsrpa;
-  bench::header("a6_slq_driver", "SS V future work (Lanczos quadrature)",
-                "SLQ reproduces the full functional trace within stochastic "
-                "error, with no eigensolve");
+  bench::JsonReport report("a6_slq_driver",
+                           "SS V future work (Lanczos quadrature)",
+                           "SLQ reproduces the full functional trace within "
+                           "stochastic error, with no eigensolve");
 
   rpa::SystemPreset preset = rpa::make_si_preset(1, false);
   preset.grid_per_cell = bench::full_scale() ? 8 : 7;
@@ -45,6 +47,7 @@ int main() {
   std::printf("%-8s %-8s %-16s %-12s %-14s %-10s\n", "probes", "steps",
               "E_RPA(Ha)", "rel err", "col applies", "time(s)");
   double best_rel = 1e300;
+  obs::Json slq_rows = obs::Json::array();
   for (int probes : {4, 8, 16, 32}) {
     rpa::SlqRpaOptions sopts;
     sopts.stern = eopts.stern;
@@ -58,10 +61,20 @@ int main() {
                 sopts.lanczos_steps, slq.e_rpa, rel, slq.matvec_columns,
                 slq.total_seconds);
     best_rel = std::min(best_rel, rel);
+    obs::Json row = obs::Json::object();
+    row["probes"] = obs::Json(probes);
+    row["lanczos_steps"] = obs::Json(sopts.lanczos_steps);
+    row["e_rpa"] = obs::Json(slq.e_rpa);
+    row["rel_err"] = obs::Json(rel);
+    row["matvec_columns"] = obs::Json(slq.matvec_columns);
+    row["seconds"] = obs::Json(slq.total_seconds);
+    slq_rows.push_back(std::move(row));
   }
 
-  std::printf("\nCheck: best SLQ estimate within 8%% of the exact full "
-              "trace: %s\n",
-              best_rel < 0.08 ? "PASS" : "FAIL");
-  return best_rel < 0.08 ? 0 : 1;
+  report.data()["direct_e_rpa"] = obs::Json(dir.e_rpa);
+  report.data()["subspace_driver"] = obs::to_json(eig);
+  report.data()["slq_rows"] = std::move(slq_rows);
+  report.add_check("best SLQ estimate within 8% of the exact full trace",
+                   best_rel < 0.08);
+  return report.finish();
 }

@@ -20,9 +20,10 @@
 
 int main() {
   using namespace rsrpa;
-  bench::header("a7_manager_worker", "SS V future work (manager-worker)",
-                "dynamic work distribution removes the load imbalance of "
-                "the static column partition");
+  bench::JsonReport report("a7_manager_worker",
+                           "SS V future work (manager-worker)",
+                           "dynamic work distribution removes the load "
+                           "imbalance of the static column partition");
 
   rpa::SystemPreset preset = rpa::make_si_preset(1, false);
   preset.grid_per_cell = 9;
@@ -70,12 +71,14 @@ int main() {
 
   bool mw_comparable = true, mw_wins_correlated = true;
   double sum_st = 0.0, sum_mw = 0.0;
+  obs::Json orderings = obs::Json::array();
   for (const auto* items : {&item_seconds, &sorted}) {
     const bool correlated = items == &sorted;
     std::printf("%s ordering:\n", correlated ? "correlated (sorted)"
                                              : "measured (near-iid)");
     std::printf("%-6s %-22s %-22s %-22s\n", "p", "static (imb)",
                 "manager-worker (imb)", "LPT bound (imb)");
+    obs::Json rows = obs::Json::array();
     for (std::size_t p = 2; p * 2 <= n_eig; p *= 2) {
       const par::ScheduleResult st = par::static_schedule(*items, p);
       const par::ScheduleResult mw = par::manager_worker_schedule(*items, p);
@@ -83,6 +86,15 @@ int main() {
       std::printf("%-6zu %9.3fs (%.3f)     %9.3fs (%.3f)     %9.3fs (%.3f)\n",
                   p, st.makespan, st.imbalance(), mw.makespan, mw.imbalance(),
                   lpt.makespan, lpt.imbalance());
+      obs::Json row = obs::Json::object();
+      row["p"] = obs::Json(p);
+      row["static_makespan"] = obs::Json(st.makespan);
+      row["static_imbalance"] = obs::Json(st.imbalance());
+      row["mw_makespan"] = obs::Json(mw.makespan);
+      row["mw_imbalance"] = obs::Json(mw.imbalance());
+      row["lpt_makespan"] = obs::Json(lpt.makespan);
+      row["lpt_imbalance"] = obs::Json(lpt.imbalance());
+      rows.push_back(std::move(row));
       // Online greedy is not universally optimal on iid items; require it
       // to stay within 5% of static everywhere...
       mw_comparable = mw_comparable && mw.makespan <= st.makespan * 1.05;
@@ -94,16 +106,20 @@ int main() {
             mw_wins_correlated && mw.makespan < st.makespan * 0.999;
     }
     std::printf("\n");
+    obs::Json ord = obs::Json::object();
+    ord["ordering"] = obs::Json(correlated ? "correlated" : "measured");
+    ord["rows"] = std::move(rows);
+    orderings.push_back(std::move(ord));
   }
 
   const bool mw_better_overall = sum_mw < sum_st;
   std::printf("Checks:\n");
-  std::printf("  manager-worker within 5%% of static everywhere: %s\n",
-              mw_comparable ? "PASS" : "FAIL");
-  std::printf("  manager-worker better in aggregate: %s\n",
-              mw_better_overall ? "PASS" : "FAIL");
-  std::printf("  manager-worker strictly wins when difficulty is "
-              "index-correlated: %s\n",
-              mw_wins_correlated ? "PASS" : "FAIL");
-  return (mw_comparable && mw_better_overall && mw_wins_correlated) ? 0 : 1;
+  report.data()["item_seconds"] = bench::json_array(item_seconds);
+  report.data()["orderings"] = std::move(orderings);
+  report.add_check("manager-worker within 5% of static everywhere",
+                   mw_comparable);
+  report.add_check("manager-worker better in aggregate", mw_better_overall);
+  report.add_check("manager-worker strictly wins when index-correlated",
+                   mw_wins_correlated);
+  return report.finish();
 }

@@ -4,13 +4,21 @@
 // regenerates and the scale it runs at. Default scale is sized for a
 // single core (seconds to a couple of minutes per bench); set RSRPA_FULL=1
 // to extend sweeps to the larger systems of Table III.
+//
+// Each bench also writes a machine-readable report to
+// `bench_out/<id>.json` (override the directory with RSRPA_BENCH_OUT) via
+// JsonReport; the schema is documented in docs/REPRODUCING.md.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
+
+#include "common/timer.hpp"
+#include "obs/json.hpp"
 
 namespace rsrpa::bench {
 
@@ -30,18 +38,98 @@ inline void header(const char* id, const char* paper_element,
 }
 
 /// Least-squares slope of log(y) against log(x) — the Fig. 6 exponent.
+/// Undefined (quiet NaN) when fewer than two samples are given, when the
+/// series lengths differ, when any sample is non-positive (log would be
+/// -inf/NaN), or when all x are equal (vertical fit).
 inline double loglog_slope(const std::vector<double>& x,
                            const std::vector<double>& y) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
   const std::size_t n = x.size();
+  if (n < 2 || y.size() != n) return nan;
   double sx = 0, sy = 0, sxx = 0, sxy = 0;
   for (std::size_t i = 0; i < n; ++i) {
+    if (!(x[i] > 0.0) || !(y[i] > 0.0)) return nan;
     const double lx = std::log(x[i]), ly = std::log(y[i]);
     sx += lx;
     sy += ly;
     sxx += lx * lx;
     sxy += lx * ly;
   }
-  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (denom == 0.0) return nan;
+  return (static_cast<double>(n) * sxy - sx * sy) / denom;
 }
+
+/// A numeric series as a JSON array (non-finite entries become null on
+/// dump, so timing columns survive serialization).
+inline obs::Json json_array(const std::vector<double>& v) {
+  obs::Json a = obs::Json::array();
+  for (double x : v) a.push_back(obs::Json(x));
+  return a;
+}
+
+/// Structured bench report. Construction prints the usual header and
+/// records the metadata; benches attach result tables under data(),
+/// register their PASS/FAIL shape checks with add_check(), and end main
+/// with `return report.finish();` — finish() writes
+/// `$RSRPA_BENCH_OUT/<id>.json` (default `bench_out/`) and returns the
+/// process exit code (0 iff every check passed).
+class JsonReport {
+ public:
+  JsonReport(const char* id, const char* paper_element, const char* claim)
+      : id_(id), root_(obs::Json::object()) {
+    header(id, paper_element, claim);
+    root_["schema"] = obs::Json("rsrpa.bench/1");
+    root_["bench"] = obs::Json(id);
+    root_["paper_element"] = obs::Json(paper_element);
+    root_["claim"] = obs::Json(claim);
+    root_["full_scale"] = obs::Json(full_scale());
+    root_["checks"] = obs::Json::array();
+    root_["data"] = obs::Json::object();
+  }
+
+  /// Bench-specific payload (tables, sweeps, serialized run results).
+  obs::Json& data() { return root_["data"]; }
+
+  /// Record one named shape check; returns `pass` so call sites can chain.
+  bool add_check(const std::string& name, bool pass) {
+    obs::Json c = obs::Json::object();
+    c["name"] = obs::Json(name);
+    c["pass"] = obs::Json(pass);
+    root_["checks"].push_back(std::move(c));
+    all_pass_ = all_pass_ && pass;
+    std::printf("  check %-45s %s\n", name.c_str(), pass ? "PASS" : "FAIL");
+    return pass;
+  }
+
+  [[nodiscard]] bool all_pass() const { return all_pass_; }
+
+  /// Write the report file and return the exit code for main(). An
+  /// unwritable report path fails the run (exit 1) but must not abort it:
+  /// the measurements were already printed.
+  int finish() {
+    root_["elapsed_seconds"] = obs::Json(timer_.seconds());
+    root_["pass"] = obs::Json(all_pass_);
+    const char* dir = std::getenv("RSRPA_BENCH_OUT");
+    const std::string path =
+        std::string(dir != nullptr && dir[0] != '\0' ? dir : "bench_out") +
+        "/" + id_ + ".json";
+    try {
+      obs::write_json_file(path, root_);
+      std::printf("\n[report] wrote %s\n", path.c_str());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "\n[report] FAILED to write %s: %s\n", path.c_str(),
+                   e.what());
+      return 1;
+    }
+    return all_pass_ ? 0 : 1;
+  }
+
+ private:
+  std::string id_;
+  obs::Json root_;
+  bool all_pass_ = true;
+  WallTimer timer_;
+};
 
 }  // namespace rsrpa::bench

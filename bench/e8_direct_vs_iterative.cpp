@@ -10,17 +10,20 @@
 
 #include "bench_util.hpp"
 #include "direct/direct_rpa.hpp"
+#include "obs/run_report.hpp"
 #include "rpa/presets.hpp"
 
 int main() {
   using namespace rsrpa;
-  bench::header("e8_direct_vs_iterative", "SS IV-C ABINIT comparison",
-                "the iterative formulation beats the direct approach on the "
-                "smallest system; energies agree");
+  bench::JsonReport report("e8_direct_vs_iterative",
+                           "SS IV-C ABINIT comparison",
+                           "the iterative formulation beats the direct "
+                           "approach on the smallest system; energies agree");
 
   const std::size_t grids[] = {7, 8, bench::full_scale() ? 10u : 9u};
   double prev_ratio = 0.0;
   bool iterative_wins = true, ratio_grows = true, energies_agree = true;
+  obs::Json rows = obs::Json::array();
 
   std::printf("%-6s %-8s %-12s %-12s %-9s %-14s %-14s\n", "grid", "n_d",
               "direct(s)", "iterative(s)", "speedup", "E_dir(Ha/at)",
@@ -46,6 +49,15 @@ int main() {
                 preset.n_grid(), dres.total_seconds, ires.total_seconds,
                 speedup, dres.e_rpa_per_atom, ires.e_rpa_per_atom);
 
+    obs::Json row = obs::Json::object();
+    row["grid_per_cell"] = obs::Json(gpc);
+    row["n_d"] = obs::Json(preset.n_grid());
+    row["direct_seconds"] = obs::Json(dres.total_seconds);
+    row["direct_e_rpa_per_atom"] = obs::Json(dres.e_rpa_per_atom);
+    row["speedup"] = obs::Json(speedup);
+    row["iterative"] = obs::to_json(ires);
+    rows.push_back(std::move(row));
+
     iterative_wins = iterative_wins && speedup > 1.0;
     if (prev_ratio > 0.0) ratio_grows = ratio_grows && speedup > prev_ratio;
     prev_ratio = speedup;
@@ -63,11 +75,10 @@ int main() {
   }
 
   std::printf("\nChecks:\n");
-  std::printf("  iterative faster at every size: %s\n",
-              iterative_wins ? "PASS" : "FAIL");
-  std::printf("  speedup grows with n_d (cubic vs quartic-class): %s\n",
-              ratio_grows ? "PASS" : "FAIL");
-  std::printf("  energies agree within truncation budget: %s\n",
-              energies_agree ? "PASS" : "FAIL");
-  return (iterative_wins && ratio_grows && energies_agree) ? 0 : 1;
+  report.data()["rows"] = std::move(rows);
+  report.add_check("iterative faster at every size", iterative_wins);
+  report.add_check("speedup grows with n_d (cubic vs quartic-class)",
+                   ratio_grows);
+  report.add_check("energies agree within truncation budget", energies_agree);
+  return report.finish();
 }

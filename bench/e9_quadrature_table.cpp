@@ -8,9 +8,10 @@
 
 int main() {
   using namespace rsrpa;
-  bench::header("e9_quadrature_table", "Table II",
-                "8-point Gauss-Legendre rule mapped by omega=(1-x)/x gives "
-                "points 49.36..0.020 and weights 128.4..0.053");
+  bench::JsonReport report("e9_quadrature_table", "Table II",
+                           "8-point Gauss-Legendre rule mapped by "
+                           "omega=(1-x)/x gives points 49.36..0.020 and "
+                           "weights 128.4..0.053");
 
   const double omega_ref[] = {49.36, 8.836, 3.215, 1.449,
                               0.690, 0.311, 0.113, 0.020};
@@ -25,6 +26,7 @@ int main() {
   // i.e. 5e-4 for "0.020").
   bool match = true;
   double max_dev = 0.0;
+  obs::Json rows = obs::Json::array();
   for (int k = 0; k < 8; ++k) {
     std::printf("%-3d %-12.4f %-12.3f %-12.4f %-12.3f\n", k + 1, pts[k].omega,
                 omega_ref[k], pts[k].weight, weight_ref[k]);
@@ -33,9 +35,17 @@ int main() {
     max_dev = std::max(max_dev, std::abs(pts[k].omega - omega_ref[k]));
     match = match && std::abs(pts[k].omega - omega_ref[k]) < tol_o &&
             std::abs(pts[k].weight - weight_ref[k]) < tol_w;
+    obs::Json row = obs::Json::object();
+    row["k"] = obs::Json(k + 1);
+    row["omega"] = obs::Json(pts[k].omega);
+    row["omega_paper"] = obs::Json(omega_ref[k]);
+    row["weight"] = obs::Json(pts[k].weight);
+    row["weight_paper"] = obs::Json(weight_ref[k]);
+    rows.push_back(std::move(row));
   }
   std::printf("\nMax absolute deviation from Table II points: %.2e\n", max_dev);
-  std::printf("Result: %s\n",
-              match ? "MATCHES Table II (to printed precision)" : "MISMATCH");
-  return match ? 0 : 1;
+  report.data()["rows"] = std::move(rows);
+  report.data()["max_abs_deviation"] = obs::Json(max_dev);
+  report.add_check("matches Table II to printed precision", match);
+  return report.finish();
 }

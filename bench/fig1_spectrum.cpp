@@ -13,9 +13,9 @@
 
 int main() {
   using namespace rsrpa;
-  bench::header("fig1_spectrum", "Figure 1",
-                "spectrum of nu chi0 decays rapidly to 0 at every omega; "
-                "low end converges as omega -> 0");
+  bench::JsonReport report("fig1_spectrum", "Figure 1",
+                           "spectrum of nu chi0 decays rapidly to 0 at every "
+                           "omega; low end converges as omega -> 0");
 
   rpa::SystemPreset preset = rpa::make_si_preset(1, false);
   preset.grid_per_cell = bench::full_scale() ? 11 : 9;
@@ -38,6 +38,7 @@ int main() {
   double low_drift_small_omega = 0.0;
   bool decay_ok = true, shrink_ok = true;
   double prev_mu0 = 1e300;  // omega descends, so |mu_0| must grow row by row
+  obs::Json spectra = obs::Json::array();
 
   for (const rpa::QuadPoint& q : quad) {
     std::vector<double> spec = direct::nu_chi0_spectrum(
@@ -54,6 +55,15 @@ int main() {
     shrink_ok = shrink_ok && (spec[0] < prev_mu0 + 1e-12);
     prev_mu0 = spec[0];
 
+    obs::Json row = obs::Json::object();
+    row["omega"] = obs::Json(q.omega);
+    obs::Json probed = obs::Json::array();
+    for (int i : probes)
+      if (i < static_cast<int>(spec.size()))
+        probed.push_back(obs::Json(spec[static_cast<std::size_t>(i)]));
+    row["probe_values"] = std::move(probed);
+    spectra.push_back(std::move(row));
+
     // Low-end convergence between the two smallest omegas.
     if (q.omega < 0.2) {
       std::vector<double> low(spec.begin(), spec.begin() + 16);
@@ -68,11 +78,12 @@ int main() {
   }
 
   std::printf("\nChecks:\n");
-  std::printf("  rapid decay (|mu_mid| < 0.25 |mu_0| at every omega): %s\n",
-              decay_ok ? "PASS" : "FAIL");
-  std::printf("  whole spectrum shrinks as omega grows:               %s\n",
-              shrink_ok ? "PASS" : "FAIL");
   std::printf("  low-end relative drift between smallest omegas:      %.2e\n",
               low_drift_small_omega);
-  return (decay_ok && shrink_ok) ? 0 : 1;
+  report.data()["spectra"] = std::move(spectra);
+  report.data()["low_end_drift"] = obs::Json(low_drift_small_omega);
+  report.add_check("rapid decay: |mu_mid| < 0.25 |mu_0| at every omega",
+                   decay_ok);
+  report.add_check("whole spectrum shrinks as omega grows", shrink_ok);
+  return report.finish();
 }

@@ -15,9 +15,10 @@
 
 int main() {
   using namespace rsrpa;
-  bench::header("fig2_warmstart_overlap", "Figure 2",
-                "V7^H V8 is diagonally dominant: eigenvectors at omega_7 "
-                "approximate those at omega_8 index-by-index");
+  bench::JsonReport report("fig2_warmstart_overlap", "Figure 2",
+                           "V7^H V8 is diagonally dominant: eigenvectors at "
+                           "omega_7 approximate those at omega_8 "
+                           "index-by-index");
 
   rpa::SystemPreset preset = rpa::make_si_preset(1, false);
   preset.grid_per_cell = bench::full_scale() ? 9 : 8;
@@ -69,8 +70,12 @@ int main() {
   std::printf("\nmean |diag|     = %.3f (min %.3f)\n", diag_mean, diag_min);
   std::printf("mean |offdiag|  = %.4f\n", offdiag_mean);
   std::printf("dominance ratio = %.1fx\n", diag_mean / offdiag_mean);
-  const bool pass = diag_mean > 10.0 * offdiag_mean && diag_mean > 0.5;
-  std::printf("Result: %s (paper shape: high-magnitude diagonal line)\n",
-              pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  report.data()["n_keep"] = obs::Json(n_keep);
+  report.data()["diag_mean"] = obs::Json(diag_mean);
+  report.data()["diag_min"] = obs::Json(diag_min);
+  report.data()["offdiag_mean"] = obs::Json(offdiag_mean);
+  report.data()["dominance_ratio"] = obs::Json(diag_mean / offdiag_mean);
+  report.add_check("overlap diagonally dominant (>10x, mean |diag| > 0.5)",
+                   diag_mean > 10.0 * offdiag_mean && diag_mean > 0.5);
+  return report.finish();
 }

@@ -8,17 +8,19 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "obs/run_report.hpp"
 #include "par/parallel_rpa.hpp"
 #include "rpa/presets.hpp"
 
 int main() {
   using namespace rsrpa;
-  bench::header("fig4_strong_scaling", "Figure 4",
-                "near-ideal scaling at small p, efficiency loss at large p "
-                "from load imbalance + collectives");
+  bench::JsonReport report("fig4_strong_scaling", "Figure 4",
+                           "near-ideal scaling at small p, efficiency loss "
+                           "at large p from load imbalance + collectives");
 
   const std::size_t max_cells = bench::full_scale() ? 4 : 2;
   bool all_ok = true;
+  obs::Json sweeps = obs::Json::array();
 
   for (std::size_t ncells = 1; ncells <= max_cells; ++ncells) {
     rpa::SystemPreset preset = rpa::make_si_preset(ncells, false);
@@ -43,6 +45,7 @@ int main() {
 
     double t1 = 0.0;
     double prev_t = 1e300;
+    obs::Json points = obs::Json::array();
     for (std::size_t p = 1; p * 4 <= preset.n_eig(); p *= 2) {
       par::ParallelRpaOptions opts = base;
       opts.n_ranks = p;
@@ -59,13 +62,26 @@ int main() {
                   res.modeled_total_seconds, speedup, eff, imb);
       all_ok = all_ok && res.modeled_total_seconds <= prev_t * 1.10;
       prev_t = res.modeled_total_seconds;
+
+      obs::Json pt = obs::Json::object();
+      pt["p"] = obs::Json(p);
+      pt["speedup"] = obs::Json(speedup);
+      pt["efficiency"] = obs::Json(eff);
+      pt["imbalance"] = obs::Json(imb);
+      pt["result"] = obs::to_json(res);
+      points.push_back(std::move(pt));
       if (p >= 64) break;
     }
     std::printf("\n");
+
+    obs::Json sweep = obs::Json::object();
+    sweep["system"] = obs::Json(preset.name);
+    sweep["points"] = std::move(points);
+    sweeps.push_back(std::move(sweep));
   }
 
-  std::printf("Check: modeled time non-increasing (within 10%%) along each "
-              "sweep: %s\n",
-              all_ok ? "PASS" : "FAIL");
-  return all_ok ? 0 : 1;
+  report.data()["sweeps"] = std::move(sweeps);
+  report.add_check("modeled time non-increasing (within 10%) along sweeps",
+                   all_ok);
+  return report.finish();
 }

@@ -7,14 +7,16 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "obs/run_report.hpp"
 #include "par/parallel_rpa.hpp"
 #include "rpa/presets.hpp"
 
 int main() {
   using namespace rsrpa;
-  bench::header("fig5_kernel_breakdown", "Figure 5",
-                "nu chi0 apply dominates and scales; matmult/eigensolve "
-                "scale poorly, growing in share with p");
+  bench::JsonReport report("fig5_kernel_breakdown", "Figure 5",
+                           "nu chi0 apply dominates and scales; "
+                           "matmult/eigensolve scale poorly, growing in "
+                           "share with p");
 
   rpa::SystemPreset preset =
       rpa::make_si_preset(bench::full_scale() ? 5 : 2, false);
@@ -37,6 +39,7 @@ int main() {
   double chi0_share_first = 0.0, chi0_share_last = 0.0;
   double t_nuchi0_first = 0.0, t_nuchi0_last = 0.0;
   std::size_t p_first = 1, p_last = 1;
+  obs::Json points = obs::Json::array();
 
   for (std::size_t p = 1; p * 4 <= preset.n_eig() && p <= 64; p *= 2) {
     par::ParallelRpaOptions opts = base;
@@ -47,6 +50,11 @@ int main() {
     std::printf("%-6zu %-12.3f %-12.3f %-12.4f %-12.4f %-12.3f %-10.2f\n", p,
                 k.nu_chi0, k.eval_error, k.matmult, k.eigensolve, k.total(),
                 share);
+    obs::Json pt = obs::Json::object();
+    pt["p"] = obs::Json(p);
+    pt["chi0_share"] = obs::Json(share);
+    pt["result"] = obs::to_json(res);
+    points.push_back(std::move(pt));
     if (p == 1) {
       chi0_share_first = share;
       t_nuchi0_first = k.nu_chi0;
@@ -61,9 +69,12 @@ int main() {
   const double chi0_eff =
       chi0_speedup / (static_cast<double>(p_last) / p_first);
   std::printf("\nChecks:\n");
-  std::printf("  nu_chi0 dominates at p = 1 (share %.2f > 0.5): %s\n",
-              chi0_share_first, chi0_share_first > 0.5 ? "PASS" : "FAIL");
-  std::printf("  nu_chi0 parallel efficiency to p = %zu: %.2f (> 0.4): %s\n",
-              p_last, chi0_eff, chi0_eff > 0.4 ? "PASS" : "FAIL");
-  return (chi0_share_first > 0.5 && chi0_eff > 0.4) ? 0 : 1;
+  report.data()["points"] = std::move(points);
+  report.data()["chi0_share_first"] = obs::Json(chi0_share_first);
+  report.data()["chi0_share_last"] = obs::Json(chi0_share_last);
+  report.data()["chi0_efficiency"] = obs::Json(chi0_eff);
+  report.add_check("nu_chi0 dominates at p = 1 (share > 0.5)",
+                   chi0_share_first > 0.5);
+  report.add_check("nu_chi0 parallel efficiency > 0.4", chi0_eff > 0.4);
+  return report.finish();
 }

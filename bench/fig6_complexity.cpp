@@ -9,16 +9,19 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/run_report.hpp"
 #include "par/parallel_rpa.hpp"
 #include "rpa/presets.hpp"
 
 int main() {
   using namespace rsrpa;
-  bench::header("fig6_complexity", "Figure 6",
-                "time-to-solution scales ~O(n_d^2.9) with system size");
+  bench::JsonReport report("fig6_complexity", "Figure 6",
+                           "time-to-solution scales ~O(n_d^2.9) with system "
+                           "size");
 
   const std::size_t max_cells = bench::full_scale() ? 5 : 3;
   std::vector<double> nds, times;
+  obs::Json points = obs::Json::array();
 
   std::printf("%-8s %-8s %-8s %-8s %-12s\n", "system", "n_d", "n_s", "n_eig",
               "time(s)");
@@ -42,13 +45,22 @@ int main() {
     std::printf("%-8s %-8zu %-8zu %-8zu %-12.2f\n", preset.name.c_str(),
                 preset.n_grid(), preset.n_occ(), preset.n_eig(),
                 res.modeled_total_seconds);
+
+    obs::Json pt = obs::Json::object();
+    pt["system"] = obs::Json(preset.name);
+    pt["n_d"] = obs::Json(preset.n_grid());
+    pt["result"] = obs::to_json(res);
+    points.push_back(std::move(pt));
   }
 
   const double slope = bench::loglog_slope(nds, times);
   std::printf("\nFitted exponent: time ~ O(n_d^%.2f)  (paper: 2.95 / 2.87)\n",
               slope);
-  const bool pass = slope > 2.0 && slope < 3.4;
-  std::printf("Check: exponent in (2.0, 3.4) — cubic-class, not quartic: %s\n",
-              pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  report.data()["points"] = std::move(points);
+  report.data()["n_d"] = bench::json_array(nds);
+  report.data()["times"] = bench::json_array(times);
+  report.data()["fitted_exponent"] = obs::Json(slope);
+  report.add_check("exponent in (2.0, 3.4) — cubic-class, not quartic",
+                   slope > 2.0 && slope < 3.4);
+  return report.finish();
 }

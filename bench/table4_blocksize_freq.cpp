@@ -8,19 +8,21 @@
 #include <map>
 
 #include "bench_util.hpp"
+#include "obs/run_report.hpp"
 #include "par/parallel_rpa.hpp"
 #include "rpa/presets.hpp"
 
 int main() {
   using namespace rsrpa;
-  bench::header("table4_blocksize_freq", "Table IV",
-                "block size 1-2 chunks dominate; s=1 share grows with "
-                "system size; rare large blocks");
+  bench::JsonReport report("table4_blocksize_freq", "Table IV",
+                           "block size 1-2 chunks dominate; s=1 share grows "
+                           "with system size; rare large blocks");
 
   const std::size_t max_cells = bench::full_scale() ? 3 : 2;
   std::vector<std::map<int, int>> histograms;
   std::vector<std::string> names;
   std::vector<double> s1_fraction;
+  obs::Json systems = obs::Json::array();
 
   for (std::size_t ncells = 1; ncells <= max_cells; ++ncells) {
     rpa::SystemPreset preset = rpa::make_si_preset(ncells, false);
@@ -47,6 +49,12 @@ int main() {
                           static_cast<double>(total));
     std::printf("%s done (%.1f s, converged %s)\n", preset.name.c_str(),
                 res.rpa.total_seconds, res.rpa.converged ? "yes" : "NO");
+
+    obs::Json sysrec = obs::Json::object();
+    sysrec["system"] = obs::Json(preset.name);
+    sysrec["s1_fraction"] = obs::Json(s1_fraction.back());
+    sysrec["result"] = obs::to_json(res);
+    systems.push_back(std::move(sysrec));
   }
 
   std::printf("\nBlock size chunk counts (summed over ranks and solves):\n");
@@ -77,9 +85,8 @@ int main() {
   }
   const bool s1_grows = s1_fraction.back() >= s1_fraction.front() - 0.05;
   std::printf("\nChecks:\n");
-  std::printf("  sizes 1-2 dominate every system: %s\n",
-              small_dominate ? "PASS" : "FAIL");
-  std::printf("  s=1 share non-decreasing with system size: %s\n",
-              s1_grows ? "PASS" : "FAIL");
-  return (small_dominate && s1_grows) ? 0 : 1;
+  report.data()["systems"] = std::move(systems);
+  report.add_check("sizes 1-2 dominate every system", small_dominate);
+  report.add_check("s=1 share non-decreasing with system size", s1_grows);
+  return report.finish();
 }

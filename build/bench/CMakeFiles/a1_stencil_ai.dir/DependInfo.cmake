@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/grid/CMakeFiles/rsrpa_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/rsrpa_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/la/CMakeFiles/rsrpa_la.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/rsrpa_common.dir/DependInfo.cmake"
   )

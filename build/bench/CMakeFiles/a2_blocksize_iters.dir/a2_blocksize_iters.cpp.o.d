@@ -192,7 +192,11 @@ bench/CMakeFiles/a2_blocksize_iters.dir/a2_blocksize_iters.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/rpa/presets.hpp \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/common/error.hpp /root/repo/src/rpa/presets.hpp \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -249,21 +253,21 @@ bench/CMakeFiles/a2_blocksize_iters.dir/a2_blocksize_iters.cpp.o: \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/hamiltonian/hamiltonian.hpp /usr/include/c++/12/complex \
  /root/repo/src/grid/stencil.hpp /root/repo/src/grid/fd.hpp \
- /root/repo/src/grid/grid.hpp /root/repo/src/common/error.hpp \
- /root/repo/src/la/matrix.hpp /root/repo/src/hamiltonian/crystal.hpp \
+ /root/repo/src/grid/grid.hpp /root/repo/src/la/matrix.hpp \
+ /root/repo/src/hamiltonian/crystal.hpp \
  /root/repo/src/hamiltonian/nonlocal.hpp \
  /root/repo/src/hamiltonian/potential.hpp \
  /root/repo/src/poisson/kronecker.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h /root/repo/src/rpa/erpa.hpp \
- /root/repo/src/rpa/quadrature.hpp /root/repo/src/rpa/subspace.hpp \
- /root/repo/src/rpa/nu_chi0.hpp /root/repo/src/rpa/chi0.hpp \
- /usr/include/c++/12/optional /root/repo/src/solver/dynamic_block.hpp \
+ /root/repo/src/obs/event_log.hpp /root/repo/src/rpa/quadrature.hpp \
+ /root/repo/src/rpa/subspace.hpp /root/repo/src/rpa/nu_chi0.hpp \
+ /root/repo/src/rpa/chi0.hpp /usr/include/c++/12/optional \
+ /root/repo/src/solver/dynamic_block.hpp \
  /root/repo/src/solver/operator.hpp /root/repo/src/solver/block_cocg.hpp \
  /root/repo/src/solver/cocr.hpp /root/repo/src/solver/gmres.hpp

@@ -205,10 +205,11 @@ bench/CMakeFiles/a7_manager_worker.dir/a7_manager_worker.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /root/repo/src/common/error.hpp \
  /root/repo/src/par/load_balance.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/common/error.hpp /root/repo/src/rpa/presets.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/rpa/presets.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -265,7 +266,8 @@ bench/CMakeFiles/a7_manager_worker.dir/a7_manager_worker.cpp.o: \
  /root/repo/src/hamiltonian/nonlocal.hpp \
  /root/repo/src/hamiltonian/potential.hpp \
  /root/repo/src/poisson/kronecker.hpp /root/repo/src/rpa/erpa.hpp \
- /root/repo/src/rpa/quadrature.hpp /root/repo/src/rpa/subspace.hpp \
- /root/repo/src/rpa/nu_chi0.hpp /root/repo/src/rpa/chi0.hpp \
- /usr/include/c++/12/optional /root/repo/src/solver/dynamic_block.hpp \
+ /root/repo/src/obs/event_log.hpp /root/repo/src/rpa/quadrature.hpp \
+ /root/repo/src/rpa/subspace.hpp /root/repo/src/rpa/nu_chi0.hpp \
+ /root/repo/src/rpa/chi0.hpp /usr/include/c++/12/optional \
+ /root/repo/src/solver/dynamic_block.hpp \
  /root/repo/src/solver/operator.hpp

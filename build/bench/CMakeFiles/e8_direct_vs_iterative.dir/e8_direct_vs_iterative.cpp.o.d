@@ -145,14 +145,15 @@ bench/CMakeFiles/e8_direct_vs_iterative.dir/e8_direct_vs_iterative.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/direct/direct_rpa.hpp \
- /root/repo/src/direct/dense.hpp /root/repo/src/dft/ks_system.hpp \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/ostream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/timer.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime /usr/include/time.h \
+ /usr/include/x86_64-linux-gnu/bits/time.h \
+ /usr/include/x86_64-linux-gnu/bits/timex.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_tm.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_itimerspec.h \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
@@ -162,11 +163,7 @@ bench/CMakeFiles/e8_direct_vs_iterative.dir/e8_direct_vs_iterative.cpp.o: \
  /usr/include/pthread.h /usr/include/sched.h \
  /usr/include/x86_64-linux-gnu/bits/sched.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_sched_param.h \
- /usr/include/x86_64-linux-gnu/bits/cpu-set.h /usr/include/time.h \
- /usr/include/x86_64-linux-gnu/bits/time.h \
- /usr/include/x86_64-linux-gnu/bits/timex.h \
- /usr/include/x86_64-linux-gnu/bits/types/struct_tm.h \
- /usr/include/x86_64-linux-gnu/bits/types/struct_itimerspec.h \
+ /usr/include/x86_64-linux-gnu/bits/cpu-set.h \
  /usr/include/x86_64-linux-gnu/bits/setjmp.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct___jmp_buf_tag.h \
  /usr/include/x86_64-linux-gnu/bits/pthread_stack_min-dynamic.h \
@@ -185,12 +182,29 @@ bench/CMakeFiles/e8_direct_vs_iterative.dir/e8_direct_vs_iterative.cpp.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/common/error.hpp /root/repo/src/direct/direct_rpa.hpp \
+ /root/repo/src/direct/dense.hpp /root/repo/src/dft/ks_system.hpp \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/ext/concurrence.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -238,11 +252,8 @@ bench/CMakeFiles/e8_direct_vs_iterative.dir/e8_direct_vs_iterative.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/hamiltonian/hamiltonian.hpp /usr/include/c++/12/complex \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/grid/stencil.hpp \
- /root/repo/src/grid/fd.hpp /root/repo/src/grid/grid.hpp \
- /root/repo/src/common/error.hpp /root/repo/src/la/matrix.hpp \
+ /root/repo/src/grid/stencil.hpp /root/repo/src/grid/fd.hpp \
+ /root/repo/src/grid/grid.hpp /root/repo/src/la/matrix.hpp \
  /root/repo/src/hamiltonian/crystal.hpp \
  /root/repo/src/hamiltonian/nonlocal.hpp \
  /root/repo/src/hamiltonian/potential.hpp /root/repo/src/la/eig.hpp \
@@ -250,19 +261,14 @@ bench/CMakeFiles/e8_direct_vs_iterative.dir/e8_direct_vs_iterative.cpp.o: \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h /root/repo/src/rpa/quadrature.hpp \
- /root/repo/src/rpa/presets.hpp /root/repo/src/rpa/erpa.hpp \
- /root/repo/src/rpa/subspace.hpp /root/repo/src/rpa/nu_chi0.hpp \
- /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/rpa/chi0.hpp \
+ /root/repo/src/obs/run_report.hpp /root/repo/src/obs/event_log.hpp \
+ /root/repo/src/par/parallel_rpa.hpp \
+ /root/repo/src/par/collective_model.hpp /root/repo/src/par/partition.hpp \
+ /root/repo/src/rpa/erpa.hpp /root/repo/src/rpa/subspace.hpp \
+ /root/repo/src/rpa/nu_chi0.hpp /root/repo/src/rpa/chi0.hpp \
  /usr/include/c++/12/optional /root/repo/src/solver/dynamic_block.hpp \
- /root/repo/src/solver/operator.hpp
+ /root/repo/src/solver/operator.hpp /root/repo/src/rpa/presets.hpp

@@ -152,39 +152,18 @@ bench/CMakeFiles/table4_blocksize_freq.dir/table4_blocksize_freq.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/par/parallel_rpa.hpp \
- /root/repo/src/par/collective_model.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/par/partition.hpp /root/repo/src/common/error.hpp \
- /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/rpa/erpa.hpp /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/pmmintrin.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/emmintrin.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/xmmintrin.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/mmintrin.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/mm_malloc.h \
- /usr/include/c++/12/stdlib.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/mwaitintrin.h \
- /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/rpa/quadrature.hpp \
- /root/repo/src/rpa/subspace.hpp /root/repo/src/rpa/nu_chi0.hpp \
- /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/time.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/timer.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime /usr/include/time.h \
  /usr/include/x86_64-linux-gnu/bits/time.h \
  /usr/include/x86_64-linux-gnu/bits/timex.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_tm.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_itimerspec.h \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
@@ -201,7 +180,8 @@ bench/CMakeFiles/table4_blocksize_freq.dir/table4_blocksize_freq.cpp.o: \
  /usr/include/c++/12/bits/locale_classes.tcc \
  /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
- /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/streambuf \
+ /usr/include/c++/12/bits/streambuf.tcc \
  /usr/include/c++/12/bits/basic_ios.h \
  /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
  /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
@@ -212,12 +192,35 @@ bench/CMakeFiles/table4_blocksize_freq.dir/table4_blocksize_freq.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/common/error.hpp /root/repo/src/obs/run_report.hpp \
+ /root/repo/src/obs/event_log.hpp /root/repo/src/par/parallel_rpa.hpp \
+ /root/repo/src/par/collective_model.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/par/partition.hpp /root/repo/src/rpa/erpa.hpp \
+ /root/repo/src/common/rng.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/bits/random.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/emmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mm_malloc.h \
+ /usr/include/c++/12/stdlib.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mwaitintrin.h \
+ /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/rpa/quadrature.hpp \
+ /root/repo/src/rpa/subspace.hpp /root/repo/src/rpa/nu_chi0.hpp \
  /root/repo/src/poisson/kronecker.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \

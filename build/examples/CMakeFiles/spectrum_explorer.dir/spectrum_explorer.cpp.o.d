@@ -259,12 +259,14 @@ examples/CMakeFiles/spectrum_explorer.dir/spectrum_explorer.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h /root/repo/src/rpa/quadrature.hpp \
  /root/repo/src/rpa/presets.hpp /root/repo/src/rpa/erpa.hpp \
+ /root/repo/src/obs/event_log.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/rpa/subspace.hpp /root/repo/src/rpa/nu_chi0.hpp \
  /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/ctime /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/rpa/chi0.hpp \
  /usr/include/c++/12/optional /root/repo/src/solver/dynamic_block.hpp \
  /root/repo/src/solver/operator.hpp

@@ -262,7 +262,9 @@ src/direct/CMakeFiles/rsrpa_direct.dir/direct_rpa.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/rpa/erpa.hpp \
- /root/repo/src/rpa/subspace.hpp /root/repo/src/rpa/nu_chi0.hpp \
- /root/repo/src/rpa/chi0.hpp /usr/include/c++/12/optional \
- /root/repo/src/solver/dynamic_block.hpp \
+ /root/repo/src/obs/event_log.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/variant /root/repo/src/rpa/subspace.hpp \
+ /root/repo/src/rpa/nu_chi0.hpp /root/repo/src/rpa/chi0.hpp \
+ /usr/include/c++/12/optional /root/repo/src/solver/dynamic_block.hpp \
  /root/repo/src/solver/operator.hpp

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/event_log.cpp" "src/obs/CMakeFiles/rsrpa_obs.dir/event_log.cpp.o" "gcc" "src/obs/CMakeFiles/rsrpa_obs.dir/event_log.cpp.o.d"
+  "/root/repo/src/obs/json.cpp" "src/obs/CMakeFiles/rsrpa_obs.dir/json.cpp.o" "gcc" "src/obs/CMakeFiles/rsrpa_obs.dir/json.cpp.o.d"
+  "/root/repo/src/obs/run_report.cpp" "src/obs/CMakeFiles/rsrpa_obs.dir/run_report.cpp.o" "gcc" "src/obs/CMakeFiles/rsrpa_obs.dir/run_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rsrpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

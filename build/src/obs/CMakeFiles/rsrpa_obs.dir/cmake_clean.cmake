@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsrpa_obs.dir/event_log.cpp.o"
+  "CMakeFiles/rsrpa_obs.dir/event_log.cpp.o.d"
+  "CMakeFiles/rsrpa_obs.dir/json.cpp.o"
+  "CMakeFiles/rsrpa_obs.dir/json.cpp.o.d"
+  "CMakeFiles/rsrpa_obs.dir/run_report.cpp.o"
+  "CMakeFiles/rsrpa_obs.dir/run_report.cpp.o.d"
+  "librsrpa_obs.a"
+  "librsrpa_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsrpa_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librsrpa_obs.a"
+)

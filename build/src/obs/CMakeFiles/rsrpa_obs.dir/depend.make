@@ -1,0 +1,2 @@
+# Empty dependencies file for rsrpa_obs.
+# This may be replaced when dependencies are built.

@@ -160,6 +160,15 @@ src/rpa/CMakeFiles/rsrpa_rpa.dir/erpa.cpp.o: /root/repo/src/rpa/erpa.cpp \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/obs/event_log.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/error.hpp \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/rpa/quadrature.hpp /root/repo/src/rpa/subspace.hpp \
  /root/repo/src/rpa/nu_chi0.hpp /root/repo/src/common/timer.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
@@ -168,12 +177,9 @@ src/rpa/CMakeFiles/rsrpa_rpa.dir/erpa.cpp.o: /root/repo/src/rpa/erpa.cpp \
  /usr/include/x86_64-linux-gnu/bits/timex.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_tm.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_itimerspec.h \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/ios \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \
@@ -189,8 +195,7 @@ src/rpa/CMakeFiles/rsrpa_rpa.dir/erpa.cpp.o: /root/repo/src/rpa/erpa.cpp \
  /usr/include/c++/12/bits/locale_classes.tcc \
  /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
- /usr/include/c++/12/stdexcept /usr/include/c++/12/streambuf \
- /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
  /usr/include/c++/12/bits/basic_ios.h \
  /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
  /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
@@ -212,16 +217,14 @@ src/rpa/CMakeFiles/rsrpa_rpa.dir/erpa.cpp.o: /root/repo/src/rpa/erpa.cpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h /root/repo/src/grid/grid.hpp \
- /root/repo/src/common/error.hpp /root/repo/src/la/matrix.hpp \
- /usr/include/c++/12/complex /root/repo/src/rpa/chi0.hpp \
- /usr/include/c++/12/optional /root/repo/src/dft/ks_system.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/la/matrix.hpp /usr/include/c++/12/complex \
+ /root/repo/src/rpa/chi0.hpp /usr/include/c++/12/optional \
+ /root/repo/src/dft/ks_system.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
@@ -263,4 +266,7 @@ src/rpa/CMakeFiles/rsrpa_rpa.dir/erpa.cpp.o: /root/repo/src/rpa/erpa.cpp \
  /root/repo/src/hamiltonian/nonlocal.hpp \
  /root/repo/src/hamiltonian/potential.hpp \
  /root/repo/src/solver/dynamic_block.hpp \
- /root/repo/src/solver/operator.hpp
+ /root/repo/src/solver/operator.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

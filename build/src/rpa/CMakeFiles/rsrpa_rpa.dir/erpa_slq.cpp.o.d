@@ -265,5 +265,8 @@ src/rpa/CMakeFiles/rsrpa_rpa.dir/erpa_slq.cpp.o: \
  /root/repo/src/hamiltonian/potential.hpp \
  /root/repo/src/solver/dynamic_block.hpp \
  /root/repo/src/solver/operator.hpp /root/repo/src/rpa/erpa.hpp \
- /root/repo/src/rpa/quadrature.hpp /root/repo/src/rpa/subspace.hpp \
- /root/repo/src/rpa/trace_est.hpp /root/repo/src/solver/chebyshev.hpp
+ /root/repo/src/obs/event_log.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/variant /root/repo/src/rpa/quadrature.hpp \
+ /root/repo/src/rpa/subspace.hpp /root/repo/src/rpa/trace_est.hpp \
+ /root/repo/src/solver/chebyshev.hpp

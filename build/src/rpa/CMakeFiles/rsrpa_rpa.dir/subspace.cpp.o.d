@@ -266,4 +266,6 @@ src/rpa/CMakeFiles/rsrpa_rpa.dir/subspace.cpp.o: \
  /root/repo/src/solver/dynamic_block.hpp \
  /root/repo/src/solver/operator.hpp /root/repo/src/la/blas.hpp \
  /root/repo/src/la/eig.hpp /root/repo/src/la/qr.hpp \
- /root/repo/src/solver/chebyshev.hpp
+ /root/repo/src/obs/event_log.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/variant /root/repo/src/solver/chebyshev.hpp

@@ -209,4 +209,6 @@ src/solver/CMakeFiles/rsrpa_solver.dir/dynamic_block.cpp.o: \
  /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/solver/block_cocg.hpp
+ /root/repo/src/obs/event_log.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/variant /root/repo/src/solver/block_cocg.hpp

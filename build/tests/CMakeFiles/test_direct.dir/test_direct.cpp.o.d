@@ -336,7 +336,8 @@ tests/CMakeFiles/test_direct.dir/test_direct.cpp.o: \
  /root/repo/src/hamiltonian/potential.hpp /root/repo/src/la/eig.hpp \
  /root/repo/src/poisson/kronecker.hpp /root/repo/src/rpa/quadrature.hpp \
  /root/repo/src/la/blas.hpp /root/repo/src/rpa/presets.hpp \
- /root/repo/src/rpa/erpa.hpp /root/repo/src/rpa/subspace.hpp \
+ /root/repo/src/rpa/erpa.hpp /root/repo/src/obs/event_log.hpp \
+ /root/repo/src/obs/json.hpp /root/repo/src/rpa/subspace.hpp \
  /root/repo/src/rpa/nu_chi0.hpp /root/repo/src/common/timer.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /root/repo/src/rpa/chi0.hpp \

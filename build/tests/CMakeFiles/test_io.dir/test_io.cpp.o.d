@@ -342,6 +342,7 @@ tests/CMakeFiles/test_io.dir/test_io.cpp.o: /root/repo/tests/test_io.cpp \
  /root/repo/src/hamiltonian/nonlocal.hpp \
  /root/repo/src/hamiltonian/potential.hpp /root/repo/src/rpa/presets.hpp \
  /root/repo/src/poisson/kronecker.hpp /root/repo/src/rpa/erpa.hpp \
+ /root/repo/src/obs/event_log.hpp /root/repo/src/obs/json.hpp \
  /root/repo/src/rpa/quadrature.hpp /root/repo/src/rpa/subspace.hpp \
  /root/repo/src/rpa/nu_chi0.hpp /root/repo/src/common/timer.hpp \
  /usr/include/c++/12/chrono /root/repo/src/rpa/chi0.hpp \

@@ -342,4 +342,5 @@ tests/CMakeFiles/test_loadbalance.dir/test_loadbalance.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/rpa/chi0.hpp /root/repo/src/solver/dynamic_block.hpp \
  /root/repo/src/solver/operator.hpp /root/repo/src/rpa/presets.hpp \
- /root/repo/src/rpa/erpa.hpp /root/repo/src/rpa/subspace.hpp
+ /root/repo/src/rpa/erpa.hpp /root/repo/src/obs/event_log.hpp \
+ /root/repo/src/obs/json.hpp /root/repo/src/rpa/subspace.hpp

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_obs.cpp" "tests/CMakeFiles/test_obs.dir/test_obs.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/test_obs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/obs/CMakeFiles/rsrpa_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/rsrpa_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpa/CMakeFiles/rsrpa_rpa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dft/CMakeFiles/rsrpa_dft.dir/DependInfo.cmake"
+  "/root/repo/build/src/hamiltonian/CMakeFiles/rsrpa_ham.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rsrpa_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/poisson/CMakeFiles/rsrpa_poisson.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rsrpa_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/rsrpa_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rsrpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -330,6 +330,7 @@ tests/CMakeFiles/test_par.dir/test_par.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/span \
+ /root/repo/src/obs/event_log.hpp /root/repo/src/obs/json.hpp \
  /root/repo/src/rpa/quadrature.hpp /root/repo/src/rpa/subspace.hpp \
  /root/repo/src/rpa/nu_chi0.hpp /root/repo/src/common/timer.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/solver/CMakeFiles/rsrpa_solver.dir/DependInfo.cmake"
   "/root/repo/build/src/dft/CMakeFiles/rsrpa_dft.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/rsrpa_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/poisson/CMakeFiles/rsrpa_poisson.dir/DependInfo.cmake"
   "/root/repo/build/src/hamiltonian/CMakeFiles/rsrpa_ham.dir/DependInfo.cmake"
   "/root/repo/build/src/grid/CMakeFiles/rsrpa_grid.dir/DependInfo.cmake"

@@ -334,7 +334,8 @@ tests/CMakeFiles/test_solver.dir/test_solver.cpp.o: \
  /root/repo/src/la/matrix.hpp /root/repo/src/hamiltonian/crystal.hpp \
  /root/repo/src/hamiltonian/nonlocal.hpp \
  /root/repo/src/hamiltonian/potential.hpp /root/repo/src/la/blas.hpp \
- /root/repo/src/la/lu.hpp /root/repo/src/solver/block_cocg.hpp \
+ /root/repo/src/la/lu.hpp /root/repo/src/obs/event_log.hpp \
+ /root/repo/src/obs/json.hpp /root/repo/src/solver/block_cocg.hpp \
  /root/repo/src/solver/operator.hpp /root/repo/src/solver/block_cocr.hpp \
  /root/repo/src/solver/cocr.hpp /root/repo/src/solver/dynamic_block.hpp \
  /root/repo/src/solver/galerkin_guess.hpp /root/repo/src/solver/gmres.hpp \

@@ -5,6 +5,8 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_obs[1]_include.cmake")
+include("/root/repo/build/tests/test_bench_util[1]_include.cmake")
 include("/root/repo/build/tests/test_la[1]_include.cmake")
 include("/root/repo/build/tests/test_grid[1]_include.cmake")
 include("/root/repo/build/tests/test_poisson[1]_include.cmake")

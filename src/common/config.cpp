@@ -1,5 +1,6 @@
 #include "common/config.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -54,20 +55,38 @@ const std::string& Config::raw(const std::string& key) const {
   return it->second;
 }
 
+namespace {
+
+// Strict numeric token parsers. The std::stoi/stod family silently
+// accepts trailing garbage ("8 atoms" parses as 8), which turns typos in
+// input files into wrong simulations. std::from_chars must consume the
+// ENTIRE token or the value is rejected. A single leading '+' is allowed
+// (from_chars does not take it, config authors reasonably might).
+template <typename T>
+bool parse_full_token(const std::string& token, T& out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  if (first != last && *first == '+') ++first;
+  if (first == last) return false;
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+}  // namespace
+
 int Config::get_int(const std::string& key) const {
-  try {
-    return std::stoi(raw(key));
-  } catch (const std::logic_error&) {
-    throw Error("config key " + key + " is not an integer: " + raw(key));
-  }
+  int v = 0;
+  if (!parse_full_token(raw(key), v))
+    throw Error("config key " + key + " is not an integer: '" + raw(key) +
+                "'");
+  return v;
 }
 
 double Config::get_double(const std::string& key) const {
-  try {
-    return std::stod(raw(key));
-  } catch (const std::logic_error&) {
-    throw Error("config key " + key + " is not a number: " + raw(key));
-  }
+  double v = 0.0;
+  if (!parse_full_token(raw(key), v))
+    throw Error("config key " + key + " is not a number: '" + raw(key) + "'");
+  return v;
 }
 
 std::string Config::get_string(const std::string& key) const { return raw(key); }
@@ -77,11 +96,11 @@ std::vector<double> Config::get_doubles(const std::string& key) const {
   std::vector<double> out;
   std::string tok;
   while (in >> tok) {
-    try {
-      out.push_back(std::stod(tok));
-    } catch (const std::logic_error&) {
-      throw Error("config key " + key + " has non-numeric entry: " + tok);
-    }
+    double v = 0.0;
+    if (!parse_full_token(tok, v))
+      throw Error("config key " + key + " has non-numeric entry: '" + tok +
+                  "'");
+    out.push_back(v);
   }
   return out;
 }

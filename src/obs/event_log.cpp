@@ -1,0 +1,48 @@
+#include "obs/event_log.hpp"
+
+namespace rsrpa::obs {
+
+std::size_t EventLog::count(const std::string& kind) const {
+  std::size_t n = 0;
+  for (const Event& e : events_)
+    if (e.kind == kind) ++n;
+  return n;
+}
+
+void EventLog::merge(const EventLog& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+Json to_json(const Event& e) {
+  Json j = Json::object();
+  j["kind"] = e.kind;
+  if (!e.detail.empty()) j["detail"] = e.detail;
+  if (!e.fields.empty()) {
+    Json f = Json::object();
+    for (const auto& [name, value] : e.fields) f[name] = value;
+    j["fields"] = std::move(f);
+  }
+  return j;
+}
+
+Json to_json(const EventLog& log) {
+  Json arr = Json::array();
+  for (const Event& e : log.events()) arr.push_back(to_json(e));
+  return arr;
+}
+
+EventLog event_log_from_json(const Json& j) {
+  EventLog log;
+  for (const Json& ej : j.as_array()) {
+    Event e;
+    e.kind = ej.at("kind").as_string();
+    if (const Json* d = ej.find("detail")) e.detail = d->as_string();
+    if (const Json* f = ej.find("fields"))
+      for (const auto& [name, value] : f->as_object())
+        e.fields.emplace_back(name, value.as_double());
+    log.emit(std::move(e));
+  }
+  return log;
+}
+
+}  // namespace rsrpa::obs

@@ -1,0 +1,65 @@
+// Structured event log for solver telemetry.
+//
+// The drivers (erpa, parallel_rpa) and the solver stack (dynamic block
+// selection, subspace iteration) emit discrete events — block-COCG
+// breakdowns that trigger the single-column fallback, Rayleigh-Ritz
+// eigensolve collapses, trace-term domain violations — into an EventLog
+// carried by the run's result. Each event is a kind tag, a free-form
+// detail string, and a flat numeric payload, so the whole log serializes
+// losslessly to JSON (obs/run_report.hpp) and survives the round trip the
+// bench reports rely on.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace rsrpa::obs {
+
+/// Well-known event kinds. Free-form kinds are allowed; these are the
+/// ones the stack emits and the reproduction docs reference.
+namespace events {
+inline constexpr const char* kSolverBreakdown = "solver_breakdown";
+inline constexpr const char* kSingleColumnFallback = "single_column_fallback";
+inline constexpr const char* kEigensolveCollapse = "eigensolve_collapse";
+inline constexpr const char* kTraceTermDomain = "trace_term_domain";
+}  // namespace events
+
+struct Event {
+  std::string kind;
+  std::string detail;
+  /// Flat numeric payload, e.g. {{"omega_index", 3}, {"mu", 1.02}}.
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+class EventLog {
+ public:
+  void emit(Event e) { events_.push_back(std::move(e)); }
+  void emit(std::string kind, std::string detail,
+            std::vector<std::pair<std::string, double>> fields = {}) {
+    events_.push_back(
+        Event{std::move(kind), std::move(detail), std::move(fields)});
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  /// Number of events of the given kind.
+  [[nodiscard]] std::size_t count(const std::string& kind) const;
+
+  void merge(const EventLog& other);
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+Json to_json(const Event& e);
+Json to_json(const EventLog& log);
+
+/// Rebuild an EventLog from its to_json() form (round-trip inverse).
+EventLog event_log_from_json(const Json& j);
+
+}  // namespace rsrpa::obs

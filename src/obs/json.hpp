@@ -1,0 +1,112 @@
+// Minimal dependency-free JSON document type for run reports.
+//
+// Json is a tagged union of null / bool / integer / double / string /
+// array / object. Objects preserve insertion order so reports read in the
+// order they were built. dump() emits standards-conformant JSON (non-
+// finite numbers become null, strings are escaped); parse() is the
+// inverse, used by the round-trip tests and by external tooling that
+// diffs `bench_out/*.json` across revisions. No third-party code — the
+// container image has no JSON library and the ROADMAP forbids adding one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rsrpa::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : value_(v) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  [[nodiscard]] bool is_null() const { return holds<std::nullptr_t>(); }
+  [[nodiscard]] bool is_bool() const { return holds<bool>(); }
+  [[nodiscard]] bool is_int() const { return holds<std::int64_t>(); }
+  [[nodiscard]] bool is_double() const { return holds<double>(); }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return holds<std::string>(); }
+  [[nodiscard]] bool is_array() const { return holds<Array>(); }
+  [[nodiscard]] bool is_object() const { return holds<Object>(); }
+
+  [[nodiscard]] bool as_bool() const { return get<bool>("bool"); }
+  [[nodiscard]] std::int64_t as_int() const {
+    return get<std::int64_t>("integer");
+  }
+  /// Numeric value as double, whether stored as integer or double.
+  [[nodiscard]] double as_double() const {
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(value_));
+    return get<double>("number");
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    return get<std::string>("string");
+  }
+  [[nodiscard]] const Array& as_array() const { return get<Array>("array"); }
+  [[nodiscard]] const Object& as_object() const {
+    return get<Object>("object");
+  }
+
+  /// Object access; inserts a null member on a mutable object if absent.
+  Json& operator[](const std::string& key);
+  /// Lookup without insertion; nullptr if absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Lookup that throws Error when the key is missing.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+
+  /// Array append (element or builds via push_back on a fresh array()).
+  void push_back(Json v);
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serialize. indent < 0 gives the compact single-line form; indent >= 0
+  /// pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parse a JSON document. Throws Error on malformed input or trailing
+  /// garbage after the top-level value.
+  static Json parse(const std::string& text);
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool holds() const {
+    return std::holds_alternative<T>(value_);
+  }
+  template <typename T>
+  [[nodiscard]] const T& get(const char* what) const {
+    RSRPA_REQUIRE_MSG(holds<T>(), std::string("Json value is not a ") + what);
+    return std::get<T>(value_);
+  }
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      value_;
+};
+
+/// Write `j` to `path` (pretty-printed, trailing newline), creating parent
+/// directories as needed. Throws Error if the file cannot be written.
+void write_json_file(const std::string& path, const Json& j);
+
+/// Parse the JSON document stored at `path`. Throws Error if unreadable.
+Json read_json_file(const std::string& path);
+
+}  // namespace rsrpa::obs

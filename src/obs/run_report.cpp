@@ -1,0 +1,155 @@
+#include "obs/run_report.hpp"
+
+namespace rsrpa::obs {
+
+Json to_json(const KernelTimers& timers) {
+  Json j = Json::object();
+  for (const auto& [name, seconds] : timers.entries()) j[name] = seconds;
+  return j;
+}
+
+Json to_json(const solver::SolveReport& rep) {
+  Json j = Json::object();
+  j["iterations"] = rep.iterations;
+  j["relative_residual"] = rep.relative_residual;
+  j["converged"] = rep.converged;
+  j["matvec_columns"] = rep.matvec_columns;
+  if (!rep.history.empty()) {
+    Json h = Json::array();
+    for (double r : rep.history) h.push_back(r);
+    j["history"] = std::move(h);
+  }
+  return j;
+}
+
+Json to_json(const solver::ChunkRecord& rec) {
+  Json j = Json::object();
+  j["block_size"] = rec.block_size;
+  j["n_rhs"] = rec.n_rhs;
+  j["iterations"] = rec.iterations;
+  j["matvec_columns"] = rec.matvec_columns;
+  j["seconds"] = rec.seconds;
+  j["converged"] = rec.converged;
+  j["fallback"] = rec.fallback;
+  return j;
+}
+
+Json to_json(const solver::DynamicBlockReport& rep) {
+  Json j = Json::object();
+  j["total_matvec_columns"] = rep.total_matvec_columns;
+  j["total_seconds"] = rep.total_seconds;
+  j["all_converged"] = rep.all_converged;
+
+  // Table IV histogram, computed inline from the chunks (identical to
+  // DynamicBlockReport::block_size_counts(), kept here so rsrpa_obs does
+  // not link against rsrpa_solver).
+  std::map<int, int> counts;
+  int fallbacks = 0;
+  for (const solver::ChunkRecord& c : rep.chunks) {
+    ++counts[c.block_size];
+    if (c.fallback) ++fallbacks;
+  }
+  Json hist = Json::object();
+  for (const auto& [size, count] : counts)
+    hist[std::to_string(size)] = count;
+  j["block_size_counts"] = std::move(hist);
+  j["fallback_chunks"] = fallbacks;
+
+  Json chunks = Json::array();
+  for (const solver::ChunkRecord& c : rep.chunks) chunks.push_back(to_json(c));
+  j["chunks"] = std::move(chunks);
+  return j;
+}
+
+Json to_json(const rpa::SternheimerStats& stats) {
+  Json j = Json::object();
+  Json hist = Json::object();
+  for (const auto& [size, count] : stats.block_size_chunks)
+    hist[std::to_string(size)] = count;
+  j["block_size_chunks"] = std::move(hist);
+  j["total_chunks"] = stats.total_chunks;
+  j["matvec_columns"] = stats.matvec_columns;
+  j["seconds"] = stats.seconds;
+  j["all_converged"] = stats.all_converged;
+  return j;
+}
+
+Json to_json(const rpa::OmegaRecord& rec) {
+  Json j = Json::object();
+  j["omega"] = rec.omega;
+  j["weight"] = rec.weight;
+  j["e_term"] = rec.e_term;
+  j["filter_iterations"] = rec.filter_iterations;
+  j["error"] = rec.error;
+  j["converged"] = rec.converged;
+  j["seconds"] = rec.seconds;
+  if (rec.invalid_terms > 0) {
+    j["invalid_terms"] = rec.invalid_terms;
+    j["worst_mu"] = rec.worst_mu;
+  }
+  Json eig = Json::array();
+  for (double mu : rec.eigenvalues) eig.push_back(mu);
+  j["eigenvalues"] = std::move(eig);
+  return j;
+}
+
+Json to_json(const rpa::RpaResult& res) {
+  Json j = Json::object();
+  j["e_rpa"] = res.e_rpa;
+  j["e_rpa_per_atom"] = res.e_rpa_per_atom;
+  j["converged"] = res.converged;
+  j["total_seconds"] = res.total_seconds;
+  Json per_omega = Json::array();
+  for (const rpa::OmegaRecord& rec : res.per_omega)
+    per_omega.push_back(to_json(rec));
+  j["per_omega"] = std::move(per_omega);
+  j["sternheimer"] = to_json(res.stern);
+  j["timers"] = to_json(res.timers);
+  j["events"] = to_json(res.events);
+  return j;
+}
+
+Json to_json(const par::KernelBreakdown& k) {
+  Json j = Json::object();
+  j["nu_chi0"] = k.nu_chi0;
+  j["matmult"] = k.matmult;
+  j["eigensolve"] = k.eigensolve;
+  j["eval_error"] = k.eval_error;
+  j["total"] = k.total();
+  return j;
+}
+
+Json to_json(const par::ParallelRpaResult& res) {
+  Json j = Json::object();
+  j["n_ranks"] = res.n_ranks;
+  j["rpa"] = to_json(res.rpa);
+  j["modeled"] = to_json(res.modeled);
+  j["modeled_total_seconds"] = res.modeled_total_seconds;
+  j["apply_work_seconds"] = res.apply_work_seconds;
+
+  // Per-rank measured seconds, plus each rank's timers merged into the
+  // bucket convention of the serial driver so rank rows and the Fig. 5
+  // breakdown share names.
+  Json ranks = Json::array();
+  for (std::size_t r = 0; r < res.n_ranks; ++r) {
+    KernelTimers rank_timers;
+    if (r < res.rank_apply_seconds.size())
+      rank_timers.add(rpa::kernels::kNuChi0, res.rank_apply_seconds[r]);
+    if (r < res.rank_error_seconds.size())
+      rank_timers.add(rpa::kernels::kEvalError, res.rank_error_seconds[r]);
+    Json rj = Json::object();
+    rj["rank"] = r;
+    rj["timers"] = to_json(rank_timers);
+    ranks.push_back(std::move(rj));
+  }
+  j["ranks"] = std::move(ranks);
+  return j;
+}
+
+RunReport::RunReport(std::string name) : name_(std::move(name)) {
+  root_ = Json::object();
+  root_["schema"] = kRunReportSchema;
+  root_["name"] = name_;
+}
+
+}  // namespace rsrpa::obs

@@ -18,6 +18,7 @@ struct RunState {
   const ColumnPartition* part = nullptr;
   double omega = 0.0;
   rpa::SternheimerStats* stats = nullptr;
+  obs::EventLog* events = nullptr;
   std::vector<double>* rank_seconds = nullptr;  // bucket to charge applies to
 };
 
@@ -73,7 +74,11 @@ RrStep ranked_rayleigh_ritz(RunState& st, la::Matrix<double>& v,
     WallTimer t;
     try {
       sub = la::sym_eig_gen(hs, ms);
-    } catch (const NumericalBreakdown&) {
+    } catch (const NumericalBreakdown& breakdown) {
+      if (st.events != nullptr)
+        st.events->emit(obs::events::kEigensolveCollapse, breakdown.what(),
+                        {{"omega", st.omega},
+                         {"subspace_dim", static_cast<double>(m)}});
       la::orthonormalize(v);
       st.rank_seconds = &rank_apply;
       ranked_apply(st, v, av);
@@ -126,10 +131,14 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
       static_cast<std::size_t>(ropts.stern.max_block) > part.max_block_size())
     ropts.stern.max_block = static_cast<int>(part.max_block_size());
 
+  ParallelRpaResult result;
+  // Solver fallbacks land in the shared result event log (the simulated
+  // ranks execute sequentially, so no synchronization is needed).
+  ropts.stern.events = &result.rpa.events;
+
   rpa::NuChi0Operator op(sys, klap, ropts.stern);
   const auto quad = rpa::rpa_frequency_quadrature(ropts.ell);
 
-  ParallelRpaResult result;
   result.n_ranks = p;
   result.rank_apply_seconds.assign(p, 0.0);
   result.rank_error_seconds.assign(p, 0.0);
@@ -141,6 +150,7 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
   st.op = &op;
   st.part = &part;
   st.stats = &result.rpa.stern;
+  st.events = &result.rpa.events;
 
   Rng rng(ropts.seed);
   const std::size_t n = sys.n_grid();
@@ -194,7 +204,7 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
     rec.error = rr.error;
     rec.converged = rr.error <= tol;
     rec.eigenvalues = rr.values;
-    for (double mu : rr.values) rec.e_term += rpa::rpa_trace_term(mu);
+    rpa::accumulate_trace_terms(rr.values, k, rec, &result.rpa.events);
     rec.seconds = omega_timer.seconds();
     result.rpa.e_rpa += q.weight * rec.e_term / (2.0 * M_PI);
     result.rpa.converged = result.rpa.converged && rec.converged;

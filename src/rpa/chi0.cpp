@@ -42,6 +42,7 @@ void Chi0Applier::apply(const la::Matrix<double>& v, la::Matrix<double>& out,
   dopts.enabled = opts_.dynamic_block;
   dopts.fixed_block = opts_.fixed_block;
   dopts.max_block = opts_.max_block;
+  dopts.events = opts_.events;
 
   out.zero();
   la::Matrix<la::cplx> b(n, s), y(n, s);

@@ -31,6 +31,9 @@ struct SternheimerOptions {
   int fixed_block = 1;        ///< used when dynamic_block is false
   int max_block = 0;          ///< n_eig / p cap; 0 = unlimited
   bool galerkin_guess = true; ///< Eq. (13) on/off (ablation A3)
+  /// Optional telemetry sink threaded down to the dynamic-block solver;
+  /// the RPA drivers point it at their result's event log. Not owned.
+  obs::EventLog* events = nullptr;
 };
 
 /// Accumulated statistics over Sternheimer solves (feeds Table IV and the

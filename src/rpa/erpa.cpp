@@ -1,12 +1,40 @@
 #include "rpa/erpa.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace rsrpa::rpa {
 
 double rpa_trace_term(double mu) {
-  RSRPA_REQUIRE_MSG(mu < 1.0, "ln(1 - mu) undefined for mu >= 1");
+  // ln(1 - mu) is undefined for mu >= 1. The physical spectrum of
+  // nu chi0(i omega) is non-positive, so a mu there signals a broken
+  // subspace (e.g. a wildly inexact Sternheimer solve) — recoverable by
+  // the driver, not worth aborting the whole quadrature over.
+  if (mu >= 1.0) return std::numeric_limits<double>::quiet_NaN();
   return std::log1p(-mu) + mu;
+}
+
+double accumulate_trace_terms(const std::vector<double>& eigenvalues,
+                              int omega_index, OmegaRecord& rec,
+                              obs::EventLog* events) {
+  double sum = 0.0;
+  for (double mu : eigenvalues) {
+    if (mu >= 1.0) {
+      ++rec.invalid_terms;
+      rec.worst_mu = std::max(rec.worst_mu, mu);
+      rec.converged = false;
+      if (events != nullptr)
+        events->emit(obs::events::kTraceTermDomain,
+                     "ln(1 - mu) undefined: skipping eigenvalue",
+                     {{"omega_index", static_cast<double>(omega_index)},
+                      {"mu", mu}});
+      continue;
+    }
+    sum += rpa_trace_term(mu);
+  }
+  rec.e_term = sum;
+  return sum;
 }
 
 RpaResult compute_rpa_energy(const dft::KsSystem& sys,
@@ -18,7 +46,11 @@ RpaResult compute_rpa_energy(const dft::KsSystem& sys,
 
   WallTimer total;
   RpaResult result;
-  NuChi0Operator op(sys, klap, opts.stern);
+  // Route solver-level telemetry (single-column fallbacks) into the
+  // result's event log for the lifetime of this call.
+  SternheimerOptions stern_opts = opts.stern;
+  stern_opts.events = &result.events;
+  NuChi0Operator op(sys, klap, stern_opts);
   const std::vector<QuadPoint> quad = rpa_frequency_quadrature(opts.ell);
 
   // V carries the subspace across quadrature points (warm start).
@@ -42,7 +74,8 @@ RpaResult compute_rpa_energy(const dft::KsSystem& sys,
     sopts.cheb_degree = opts.cheb_degree;
 
     SubspaceResult sub = subspace_iteration(op, q.omega, v, sopts,
-                                            &result.stern, &result.timers);
+                                            &result.stern, &result.timers,
+                                            &result.events);
 
     OmegaRecord rec;
     rec.omega = q.omega;
@@ -51,10 +84,10 @@ RpaResult compute_rpa_energy(const dft::KsSystem& sys,
     rec.error = sub.error;
     rec.converged = sub.converged;
     rec.eigenvalues = sub.eigenvalues;
-    for (double mu : sub.eigenvalues) rec.e_term += rpa_trace_term(mu);
+    accumulate_trace_terms(sub.eigenvalues, k, rec, &result.events);
     rec.seconds = omega_timer.seconds();
     result.e_rpa += q.weight * rec.e_term / (2.0 * M_PI);
-    result.converged = result.converged && sub.converged;
+    result.converged = result.converged && rec.converged;
     result.per_omega.push_back(std::move(rec));
   }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "obs/event_log.hpp"
 #include "rpa/quadrature.hpp"
 #include "rpa/subspace.hpp"
 
@@ -39,6 +40,11 @@ struct OmegaRecord {
   double error = 0.0;        ///< Eq. (7) at exit
   bool converged = false;
   double seconds = 0.0;
+  /// Eigenvalues with mu >= 1 (trace term undefined): how many were
+  /// skipped from e_term, and the worst offender. Such a point is marked
+  /// non-converged but the run continues (see accumulate_trace_terms).
+  int invalid_terms = 0;
+  double worst_mu = 0.0;
   std::vector<double> eigenvalues;  ///< converged Ritz values (ascending)
 };
 
@@ -49,6 +55,7 @@ struct RpaResult {
   std::vector<OmegaRecord> per_omega;
   KernelTimers timers;          ///< Fig. 5 kernel breakdown
   SternheimerStats stern;       ///< Table IV statistics
+  obs::EventLog events;         ///< fallbacks, collapses, domain violations
   double total_seconds = 0.0;
 };
 
@@ -59,6 +66,19 @@ RpaResult compute_rpa_energy(const dft::KsSystem& sys,
                              const RpaOptions& opts);
 
 /// The scalar trace model applied to each eigenvalue: ln(1 - mu) + mu.
+/// Defined for mu < 1; returns quiet NaN for mu >= 1 (the caller decides
+/// how to continue — the drivers skip the term and flag the point rather
+/// than abort a multi-hour run).
 double rpa_trace_term(double mu);
+
+/// Sum rpa_trace_term over `eigenvalues`, recording telemetry into `rec`:
+/// eigenvalues with mu >= 1 are skipped (not silently folded into the
+/// energy), counted in rec.invalid_terms with the worst mu kept, the
+/// record is marked non-converged, and a trace_term_domain event carrying
+/// (omega_index, mu) is emitted into `events` when provided. Returns the
+/// sum over the valid eigenvalues, which is also written to rec.e_term.
+double accumulate_trace_terms(const std::vector<double>& eigenvalues,
+                              int omega_index, OmegaRecord& rec,
+                              obs::EventLog* events);
 
 }  // namespace rsrpa::rpa

@@ -5,6 +5,7 @@
 #include "la/blas.hpp"
 #include "la/eig.hpp"
 #include "la/qr.hpp"
+#include "obs/event_log.hpp"
 #include "solver/chebyshev.hpp"
 
 namespace rsrpa::rpa {
@@ -17,12 +18,14 @@ namespace {
 struct RrOutcome {
   std::vector<double> values;
   double error = 0.0;
+  bool collapsed = false;  ///< generalized eigensolve fell back to sym_eig
 };
 
 RrOutcome rayleigh_ritz_and_error(const NuChi0Operator& op, double omega,
                                   la::Matrix<double>& v,
                                   SternheimerStats* stats,
-                                  KernelTimers* timers) {
+                                  KernelTimers* timers,
+                                  obs::EventLog* events) {
   const std::size_t n = v.rows(), m = v.cols();
   la::Matrix<double> av(n, m);
   op.apply(v, av, omega, stats, timers);
@@ -45,13 +48,19 @@ RrOutcome rayleigh_ritz_and_error(const NuChi0Operator& op, double omega,
     }
 
   la::EigResult sub;
+  bool collapsed = false;
   {
     WallTimer t;
     try {
       sub = la::sym_eig_gen(hs, ms);
-    } catch (const NumericalBreakdown&) {
+    } catch (const NumericalBreakdown& breakdown) {
       // Filtering collapsed the block numerically: orthonormalize and
       // re-project with M_s = I.
+      collapsed = true;
+      if (events != nullptr)
+        events->emit(obs::events::kEigensolveCollapse, breakdown.what(),
+                     {{"omega", omega},
+                      {"subspace_dim", static_cast<double>(m)}});
       la::orthonormalize(v);
       op.apply(v, av, omega, stats, timers);
       la::gemm_tn(1.0, v, av, 0.0, hs);
@@ -72,6 +81,7 @@ RrOutcome rayleigh_ritz_and_error(const NuChi0Operator& op, double omega,
   // reductions (the MPI_Allreduce in the distributed setting).
   RrOutcome out;
   out.values = sub.values;
+  out.collapsed = collapsed;
   {
     WallTimer t;
     op.apply(v, av, omega, stats, nullptr);  // time under eval_error
@@ -98,16 +108,18 @@ SubspaceResult subspace_iteration(const NuChi0Operator& op, double omega,
                                   la::Matrix<double>& v,
                                   const SubspaceOptions& opts,
                                   SternheimerStats* stats,
-                                  KernelTimers* timers) {
+                                  KernelTimers* timers,
+                                  obs::EventLog* events) {
   RSRPA_REQUIRE(v.rows() == op.n_grid() && v.cols() >= 1);
   SubspaceResult res;
 
   // Lines 2-5 of Algorithm 5: Rayleigh-Ritz on the initial guess with NO
   // filtering; an accurate warm start exits here with ncheb = 0.
-  RrOutcome rr = rayleigh_ritz_and_error(op, omega, v, stats, timers);
+  RrOutcome rr = rayleigh_ritz_and_error(op, omega, v, stats, timers, events);
   res.eigenvalues = rr.values;
   res.error = rr.error;
   res.converged = rr.error <= opts.tol;
+  if (rr.collapsed) ++res.eigensolve_collapses;
 
   while (!res.converged && res.filter_iterations < opts.max_filter_iter) {
     // Filter: damp the unwanted tail (largest Ritz value, 0]; everything
@@ -129,10 +141,11 @@ SubspaceResult subspace_iteration(const NuChi0Operator& op, double omega,
     solver::chebyshev_filter_op(a_op, v, opts.cheb_degree, damp_lo, damp_hi,
                                 a0);
 
-    rr = rayleigh_ritz_and_error(op, omega, v, stats, timers);
+    rr = rayleigh_ritz_and_error(op, omega, v, stats, timers, events);
     res.eigenvalues = rr.values;
     res.error = rr.error;
     res.converged = rr.error <= opts.tol;
+    if (rr.collapsed) ++res.eigensolve_collapses;
     ++res.filter_iterations;
   }
   return res;

@@ -24,14 +24,19 @@ struct SubspaceResult {
   int filter_iterations = 0;        ///< "ncheb" — filter passes used
   double error = 0.0;               ///< Eq. (7) at exit
   bool converged = false;
+  int eigensolve_collapses = 0;     ///< generalized eigensolve fallbacks
 };
 
 /// Run Algorithm 5 at frequency `omega`. `v` holds the initial subspace on
 /// entry and the converged (orthonormal) eigenvector block on exit.
+/// `events` (optional) records eigensolve collapses — the filtered block
+/// going numerically rank-deficient and forcing the orthonormalize +
+/// standard-eigensolve recovery path.
 SubspaceResult subspace_iteration(const NuChi0Operator& op, double omega,
                                   la::Matrix<double>& v,
                                   const SubspaceOptions& opts,
                                   SternheimerStats* stats = nullptr,
-                                  KernelTimers* timers = nullptr);
+                                  KernelTimers* timers = nullptr,
+                                  obs::EventLog* events = nullptr);
 
 }  // namespace rsrpa::rpa

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.hpp"
+#include "obs/event_log.hpp"
 #include "solver/block_cocg.hpp"
 
 namespace rsrpa::solver {
@@ -20,8 +21,9 @@ namespace {
 // dependent residual block).
 ChunkRecord solve_chunk(const BlockOpC& a, const la::Matrix<cplx>& b,
                         la::Matrix<cplx>& y, std::size_t pos,
-                        std::size_t count, const SolverOptions& sopts,
+                        std::size_t count, const DynamicBlockOptions& opts,
                         DynamicBlockReport& rep) {
+  const SolverOptions& sopts = opts.solver;
   ChunkRecord rec;
   rec.block_size = static_cast<int>(count);
   rec.n_rhs = static_cast<int>(count);
@@ -33,11 +35,15 @@ ChunkRecord solve_chunk(const BlockOpC& a, const la::Matrix<cplx>& b,
     SolveReport r = block_cocg(a, bchunk, ychunk, sopts);
     rec.iterations = r.iterations;
     rec.converged = r.converged;
-    rep.total_matvec_columns += r.matvec_columns;
-  } catch (const NumericalBreakdown&) {
+    rec.matvec_columns = r.matvec_columns;
+  } catch (const NumericalBreakdown& breakdown) {
     // Deflation path: re-solve each column independently from the original
     // initial guess.
     rec.fallback = true;
+    if (opts.events != nullptr)
+      opts.events->emit(obs::events::kSingleColumnFallback, breakdown.what(),
+                        {{"position", static_cast<double>(pos)},
+                         {"block_size", static_cast<double>(count)}});
     ychunk = y.slice_cols(pos, count);
     rec.converged = true;
     for (std::size_t j = 0; j < count; ++j) {
@@ -47,9 +53,10 @@ ChunkRecord solve_chunk(const BlockOpC& a, const la::Matrix<cplx>& b,
       ychunk.set_cols(j, y1);
       rec.iterations = std::max(rec.iterations, r.iterations);
       rec.converged = rec.converged && r.converged;
-      rep.total_matvec_columns += r.matvec_columns;
+      rec.matvec_columns += r.matvec_columns;
     }
   }
+  rep.total_matvec_columns += rec.matvec_columns;
   y.set_cols(pos, ychunk);
   rec.seconds = timer.seconds();
   rep.total_seconds += rec.seconds;
@@ -79,7 +86,7 @@ DynamicBlockReport solve_dynamic_block(const BlockOpC& a,
         std::max(opts.fixed_block, 1), cap);
     while (pos < n_rhs) {
       const std::size_t count = std::min(s, n_rhs - pos);
-      solve_chunk(a, b, y, pos, count, opts.solver, rep);
+      solve_chunk(a, b, y, pos, count, opts, rep);
       pos += count;
     }
     return rep;
@@ -89,7 +96,7 @@ DynamicBlockReport solve_dynamic_block(const BlockOpC& a,
   // at most doubles (per-vector time non-increasing).
   std::size_t s = 1;
   ChunkRecord first = solve_chunk(a, b, y, pos, std::min<std::size_t>(1, n_rhs - pos),
-                                  opts.solver, rep);
+                                  opts, rep);
   pos += static_cast<std::size_t>(first.n_rhs);
   double t_old = first.seconds;
 
@@ -97,7 +104,7 @@ DynamicBlockReport solve_dynamic_block(const BlockOpC& a,
     s = 2;
     ChunkRecord second =
         solve_chunk(a, b, y, pos, std::min<std::size_t>(2, n_rhs - pos),
-                    opts.solver, rep);
+                    opts, rep);
     pos += static_cast<std::size_t>(second.n_rhs);
     double t_new = second.seconds;
 
@@ -106,7 +113,7 @@ DynamicBlockReport solve_dynamic_block(const BlockOpC& a,
         s *= 2;
         t_old = t_new;
         const std::size_t count = std::min(s, n_rhs - pos);
-        ChunkRecord rec = solve_chunk(a, b, y, pos, count, opts.solver, rep);
+        ChunkRecord rec = solve_chunk(a, b, y, pos, count, opts, rep);
         pos += count;
         t_new = rec.seconds;
         // A short tail chunk is not a fair probe; stop growing after it.
@@ -121,7 +128,7 @@ DynamicBlockReport solve_dynamic_block(const BlockOpC& a,
   // Solve everything remaining at the selected size.
   while (pos < n_rhs) {
     const std::size_t count = std::min(s, n_rhs - pos);
-    solve_chunk(a, b, y, pos, count, opts.solver, rep);
+    solve_chunk(a, b, y, pos, count, opts, rep);
     pos += count;
   }
   return rep;

@@ -17,12 +17,17 @@
 
 #include "solver/operator.hpp"
 
+namespace rsrpa::obs {
+class EventLog;
+}  // namespace rsrpa::obs
+
 namespace rsrpa::solver {
 
 struct ChunkRecord {
   int block_size = 0;
   int n_rhs = 0;        ///< columns actually solved (may be < block_size at the tail)
   int iterations = 0;
+  long matvec_columns = 0;  ///< single-column operator applications
   double seconds = 0.0;
   bool converged = false;
   bool fallback = false;  ///< block breakdown -> solved column-by-column
@@ -43,6 +48,9 @@ struct DynamicBlockOptions {
   int max_block = 0;  ///< 0 = unlimited; paper caps at n_eig / p
   bool enabled = true;  ///< false = fixed block size fixed_block
   int fixed_block = 1;
+  /// Optional event sink: single-column fallbacks (block COCG breakdown)
+  /// are recorded here with their chunk position and size. Not owned.
+  obs::EventLog* events = nullptr;
 };
 
 /// Solve A Y = B for all columns of B, choosing block sizes per

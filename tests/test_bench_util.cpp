@@ -1,0 +1,117 @@
+// Tests for the shared bench helpers: the loglog_slope guard rails and
+// the JsonReport writer every bench uses for its bench_out/<id>.json.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace rsrpa::bench {
+namespace {
+
+TEST(LoglogSlope, RecoversPowerLawExponent) {
+  std::vector<double> x, y;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    x.push_back(v);
+    y.push_back(3.5 * v * v * v);  // y = c * x^3
+  }
+  EXPECT_NEAR(loglog_slope(x, y), 3.0, 1e-12);
+}
+
+TEST(LoglogSlope, UndefinedInputsGiveNaNInsteadOfCrashing) {
+  // Too few samples.
+  EXPECT_TRUE(std::isnan(loglog_slope({}, {})));
+  EXPECT_TRUE(std::isnan(loglog_slope({2.0}, {4.0})));
+  // Mismatched lengths.
+  EXPECT_TRUE(std::isnan(loglog_slope({1.0, 2.0}, {1.0, 2.0, 3.0})));
+  // log(0) and log(negative) are undefined; a zero timing sample used to
+  // poison the fit with -inf.
+  EXPECT_TRUE(std::isnan(loglog_slope({1.0, 2.0}, {0.0, 4.0})));
+  EXPECT_TRUE(std::isnan(loglog_slope({1.0, -2.0}, {1.0, 4.0})));
+  // All-equal x: vertical fit, denominator n*sxx - sx*sx == 0.
+  EXPECT_TRUE(std::isnan(loglog_slope({3.0, 3.0, 3.0}, {1.0, 2.0, 3.0})));
+}
+
+TEST(LoglogSlope, FiniteForWellPosedNoisyData) {
+  const std::vector<double> x = {10.0, 20.0, 40.0, 80.0};
+  const std::vector<double> y = {1.1, 4.2, 15.9, 65.0};  // roughly x^2
+  const double slope = loglog_slope(x, y);
+  EXPECT_TRUE(std::isfinite(slope));
+  EXPECT_NEAR(slope, 2.0, 0.1);
+}
+
+TEST(JsonArray, NonFiniteEntriesBecomeNullOnDump) {
+  const obs::Json a = json_array(
+      {1.5, std::numeric_limits<double>::quiet_NaN(),
+       std::numeric_limits<double>::infinity()});
+  EXPECT_EQ(a.dump(), "[1.5,null,null]");
+}
+
+TEST(JsonReport, WritesSchemaChecksAndDataToReportFile) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "rsrpa_bench_util_test";
+  fs::remove_all(dir);
+  ASSERT_EQ(setenv("RSRPA_BENCH_OUT", dir.c_str(), 1), 0);
+
+  int exit_code = -1;
+  {
+    JsonReport report("unit_test_bench", "Unit test", "the writer works");
+    report.data()["rows"] = json_array({1.0, 2.0});
+    report.data()["label"] = obs::Json("abc");
+    EXPECT_TRUE(report.add_check("first check", true));
+    EXPECT_FALSE(report.add_check("second check", false));
+    EXPECT_FALSE(report.all_pass());
+    exit_code = report.finish();
+  }
+  EXPECT_EQ(exit_code, 1);  // one failing check -> nonzero exit
+
+  const obs::Json j =
+      obs::read_json_file((dir / "unit_test_bench.json").string());
+  EXPECT_EQ(j.at("schema").as_string(), "rsrpa.bench/1");
+  EXPECT_EQ(j.at("bench").as_string(), "unit_test_bench");
+  EXPECT_EQ(j.at("paper_element").as_string(), "Unit test");
+  EXPECT_FALSE(j.at("pass").as_bool());
+  EXPECT_GE(j.at("elapsed_seconds").as_double(), 0.0);
+  ASSERT_EQ(j.at("checks").size(), 2u);
+  EXPECT_EQ(j.at("checks").as_array()[0].at("name").as_string(),
+            "first check");
+  EXPECT_TRUE(j.at("checks").as_array()[0].at("pass").as_bool());
+  EXPECT_FALSE(j.at("checks").as_array()[1].at("pass").as_bool());
+  EXPECT_EQ(j.at("data").at("rows").dump(), "[1.0,2.0]");
+  EXPECT_EQ(j.at("data").at("label").as_string(), "abc");
+
+  EXPECT_EQ(unsetenv("RSRPA_BENCH_OUT"), 0);
+  fs::remove_all(dir);
+}
+
+TEST(JsonReport, UnwritableReportPathFailsWithoutAborting) {
+  ASSERT_EQ(setenv("RSRPA_BENCH_OUT", "/proc/nonexistent_dir", 1), 0);
+  JsonReport report("unit_test_unwritable", "Unit test",
+                    "write failure exits nonzero");
+  report.add_check("ok", true);
+  EXPECT_EQ(report.finish(), 1);  // reported, not std::terminate'd
+  EXPECT_EQ(unsetenv("RSRPA_BENCH_OUT"), 0);
+}
+
+TEST(JsonReport, AllPassingChecksGiveZeroExit) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "rsrpa_bench_util_pass";
+  fs::remove_all(dir);
+  ASSERT_EQ(setenv("RSRPA_BENCH_OUT", dir.c_str(), 1), 0);
+
+  JsonReport report("unit_test_pass", "Unit test", "exit code is zero");
+  report.add_check("ok", true);
+  EXPECT_EQ(report.finish(), 0);
+  EXPECT_TRUE(obs::read_json_file((dir / "unit_test_pass.json").string())
+                  .at("pass")
+                  .as_bool());
+
+  EXPECT_EQ(unsetenv("RSRPA_BENCH_OUT"), 0);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rsrpa::bench

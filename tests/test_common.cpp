@@ -53,6 +53,44 @@ TEST(Config, MalformedValueThrows) {
   EXPECT_THROW((void)cfg.get_double("A"), Error);
 }
 
+TEST(Config, RejectsTrailingGarbage) {
+  // std::stoi("8 atoms") silently returns 8; the strict parser must not.
+  Config cfg = Config::parse(
+      "N_ATOMS: 8 atoms\n"
+      "VERSION: 1.5.3\n"
+      "TOL: 1e-3x\n"
+      "COUNT: 12,\n"
+      "HEX: 0x10\n"
+      "FRACTION: 2.5\n");
+  EXPECT_THROW((void)cfg.get_int("N_ATOMS"), Error);
+  EXPECT_THROW((void)cfg.get_double("N_ATOMS"), Error);
+  EXPECT_THROW((void)cfg.get_double("VERSION"), Error);
+  EXPECT_THROW((void)cfg.get_double("TOL"), Error);
+  EXPECT_THROW((void)cfg.get_int("COUNT"), Error);
+  EXPECT_THROW((void)cfg.get_int("HEX"), Error);
+  // An integer getter must not truncate a fractional value either.
+  EXPECT_THROW((void)cfg.get_int("FRACTION"), Error);
+}
+
+TEST(Config, RejectsGarbageInNumberLists) {
+  Config cfg = Config::parse("TOLS: 1e-3 2e-3x 5e-4\n");
+  EXPECT_THROW((void)cfg.get_doubles("TOLS"), Error);
+}
+
+TEST(Config, AcceptsFullTokenNumbers) {
+  Config cfg = Config::parse(
+      "A: -42\n"
+      "B: +17\n"
+      "C: 2.5e-3\n"
+      "D: +0.5\n"
+      "E: -1e4\n");
+  EXPECT_EQ(cfg.get_int("A"), -42);
+  EXPECT_EQ(cfg.get_int("B"), 17);
+  EXPECT_DOUBLE_EQ(cfg.get_double("C"), 2.5e-3);
+  EXPECT_DOUBLE_EQ(cfg.get_double("D"), 0.5);
+  EXPECT_DOUBLE_EQ(cfg.get_double("E"), -1e4);
+}
+
 TEST(Config, MalformedLineThrows) {
   EXPECT_THROW(Config::parse("no colon here\n"), Error);
 }

@@ -73,7 +73,47 @@ TEST(TraceTerm, MatchesClosedForm) {
   // Small-mu expansion: -mu^2/2 - mu^3/3 - ... (cubic term ~3e-13 here).
   const double mu = -1e-4;
   EXPECT_NEAR(rpa_trace_term(mu), -0.5 * mu * mu, 1e-12);
-  EXPECT_THROW(rpa_trace_term(1.0), Error);
+  // ln(1 - mu) is undefined at mu >= 1: NaN, not an exception — the
+  // drivers must be able to skip the term and keep the run alive.
+  EXPECT_TRUE(std::isnan(rpa_trace_term(1.0)));
+  EXPECT_TRUE(std::isnan(rpa_trace_term(2.5)));
+}
+
+TEST(TraceTerm, AccumulateSkipsDomainViolationsAndRecordsThem) {
+  const std::vector<double> eigs = {-2.0, -0.5, 1.5, 3.0};
+  OmegaRecord rec;
+  rec.converged = true;
+  obs::EventLog events;
+  const double sum = accumulate_trace_terms(eigs, 4, rec, &events);
+
+  // Only the two valid eigenvalues contribute — no NaN leaks into e_term.
+  const double expected = rpa_trace_term(-2.0) + rpa_trace_term(-0.5);
+  EXPECT_DOUBLE_EQ(sum, expected);
+  EXPECT_DOUBLE_EQ(rec.e_term, expected);
+  EXPECT_FALSE(std::isnan(rec.e_term));
+
+  // The violation is recorded, the point marked non-converged, the run
+  // continues.
+  EXPECT_EQ(rec.invalid_terms, 2);
+  EXPECT_DOUBLE_EQ(rec.worst_mu, 3.0);
+  EXPECT_FALSE(rec.converged);
+  ASSERT_EQ(events.count(obs::events::kTraceTermDomain), 2u);
+  const obs::Event& ev = events.events().front();
+  ASSERT_EQ(ev.fields.size(), 2u);
+  EXPECT_EQ(ev.fields[0].first, "omega_index");
+  EXPECT_DOUBLE_EQ(ev.fields[0].second, 4.0);
+  EXPECT_EQ(ev.fields[1].first, "mu");
+  EXPECT_DOUBLE_EQ(ev.fields[1].second, 1.5);
+}
+
+TEST(TraceTerm, AccumulateLeavesCleanRecordUntouched) {
+  const std::vector<double> eigs = {-1.0, -0.25};
+  OmegaRecord rec;
+  rec.converged = true;
+  const double sum = accumulate_trace_terms(eigs, 0, rec, nullptr);
+  EXPECT_DOUBLE_EQ(sum, rpa_trace_term(-1.0) + rpa_trace_term(-0.25));
+  EXPECT_EQ(rec.invalid_terms, 0);
+  EXPECT_TRUE(rec.converged);
 }
 
 // ----- Fixture: a tiny Si8 system with a dense oracle -----

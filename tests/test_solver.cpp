@@ -10,6 +10,7 @@
 #include "dft/ks_system.hpp"
 #include "la/blas.hpp"
 #include "la/lu.hpp"
+#include "obs/event_log.hpp"
 #include "solver/block_cocg.hpp"
 #include "solver/block_cocr.hpp"
 #include "solver/cocr.hpp"
@@ -128,6 +129,36 @@ TEST(BlockCocg, MatchesNonBlockCocgForSingleRhs) {
   EXPECT_EQ(rb.iterations, rs.iterations);  // identical recurrence at s=1
   for (std::size_t i = 0; i < n; ++i)
     EXPECT_NEAR(std::abs(y_block(i, 0) - yy[i]), 0.0, 1e-8);
+}
+
+TEST(BlockCocg, SingleRhsHistoryAndMatvecsMatchCocg) {
+  // At s = 1 the block recurrence degenerates to the scalar one, so the
+  // two independent implementations must agree step by step: identical
+  // residual histories and identical operator-application counts.
+  Rng rng(21);
+  const std::size_t n = 35;
+  Matrix<cplx> a = random_complex_symmetric(n, rng, cplx{7.0, 1.5});
+  Matrix<cplx> b = random_cblock(n, 1, rng);
+  SolverOptions opts;
+  opts.tol = 1e-11;
+  opts.record_history = true;
+
+  Matrix<cplx> y_block(n, 1);
+  SolveReport rb = block_cocg(dense_op(a), b, y_block, opts);
+
+  std::vector<cplx> bb(n), yy(n, cplx{});
+  for (std::size_t i = 0; i < n; ++i) bb[i] = b(i, 0);
+  SolveReport rs = cocg(dense_op(a), bb, yy, opts);
+
+  EXPECT_TRUE(rb.converged);
+  EXPECT_TRUE(rs.converged);
+  EXPECT_EQ(rb.matvec_columns, rs.matvec_columns);
+  ASSERT_FALSE(rb.history.empty());
+  ASSERT_EQ(rb.history.size(), rs.history.size());
+  for (std::size_t k = 0; k < rb.history.size(); ++k)
+    EXPECT_NEAR(rb.history[k], rs.history[k],
+                1e-10 * std::max(1.0, rb.history[k]))
+        << "histories diverge at iteration " << k;
 }
 
 TEST(BlockCocg, LargerBlocksNeedNoMoreIterations) {
@@ -495,12 +526,39 @@ TEST(DynamicBlock, FallsBackOnDependentColumns) {
   DynamicBlockOptions opts;
   opts.enabled = false;
   opts.fixed_block = 4;
+  obs::EventLog events;
+  opts.events = &events;
   DynamicBlockReport rep = solve_dynamic_block(dense_op(a), b, y, opts);
   EXPECT_TRUE(rep.all_converged);
   ASSERT_EQ(rep.chunks.size(), 1u);
   EXPECT_TRUE(rep.chunks[0].fallback);
+  // The fallback is reported as a structured event carrying the chunk
+  // position and size.
+  ASSERT_EQ(events.count(obs::events::kSingleColumnFallback), 1u);
+  const obs::Event& ev = events.events().front();
+  ASSERT_EQ(ev.fields.size(), 2u);
+  EXPECT_EQ(ev.fields[0].first, "position");
+  EXPECT_DOUBLE_EQ(ev.fields[0].second, 0.0);
+  EXPECT_EQ(ev.fields[1].first, "block_size");
+  EXPECT_DOUBLE_EQ(ev.fields[1].second, 4.0);
   Matrix<cplx> x_ref = la::lu_solve(a, b);
   EXPECT_LT(block_error(y, x_ref), 1e-7);
+}
+
+TEST(DynamicBlock, ChunksRecordMatvecColumns) {
+  Rng rng(22);
+  const std::size_t n = 40, n_rhs = 6;
+  Matrix<cplx> a = random_complex_symmetric(n, rng, cplx{6.0, 1.0});
+  Matrix<cplx> b = random_cblock(n, n_rhs, rng);
+  Matrix<cplx> y(n, n_rhs);
+  DynamicBlockReport rep =
+      solve_dynamic_block(dense_op(a), b, y, DynamicBlockOptions{});
+  long sum = 0;
+  for (const ChunkRecord& cr : rep.chunks) {
+    EXPECT_GT(cr.matvec_columns, 0);
+    sum += cr.matvec_columns;
+  }
+  EXPECT_EQ(sum, rep.total_matvec_columns);
 }
 
 TEST(DynamicBlock, BlockSizeCountsSumToChunks) {
