@@ -19,6 +19,8 @@
 
 #include "common/timer.hpp"
 #include "obs/json.hpp"
+#include "obs/run_report.hpp"
+#include "sched/thread_pool.hpp"
 
 namespace rsrpa::bench {
 
@@ -110,6 +112,10 @@ class JsonReport {
   int finish() {
     root_["elapsed_seconds"] = obs::Json(timer_.seconds());
     root_["pass"] = obs::Json(all_pass_);
+    // Thread-pool activity over the whole bench (threads, tasks, steals,
+    // per-worker busy seconds); see docs/REPRODUCING.md "Threaded
+    // execution".
+    root_["sched"] = obs::to_json(sched::global_pool().stats());
     const char* dir = std::getenv("RSRPA_BENCH_OUT");
     const std::string path =
         std::string(dir != nullptr && dir[0] != '\0' ? dir : "bench_out") +

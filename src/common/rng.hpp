@@ -3,6 +3,18 @@
 // All stochastic pieces of the library (random initial subspaces, random
 // atom perturbations, Hutchinson probe vectors) draw from an explicitly
 // seeded Rng so every experiment is reproducible run-to-run.
+//
+// Determinism contract under threading: an Rng instance is NOT
+// thread-safe — it is single-owner, like the timers. Code that fans work
+// out across the sched pool must never share one Rng between tasks;
+// instead each task derives its own stream with derive(stream_id), where
+// stream_id is a STABLE identifier of the work item (column index, probe
+// number, rank id) — never a worker/thread id. Streams derived this way
+// are (a) decorrelated (seed mixing goes through splitmix64, so
+// consecutive ids yield unrelated engine states) and (b) independent of
+// both the thread count and the order tasks happen to execute in, which
+// keeps every stochastic result bitwise reproducible at any
+// RSRPA_THREADS.
 #pragma once
 
 #include <cstdint>
@@ -11,10 +23,35 @@
 
 namespace rsrpa {
 
-/// Seeded pseudo-random generator with convenience fills.
+/// splitmix64 finalizer — the standard 64-bit avalanche mix (Steele et
+/// al., "Fast splittable pseudorandom number generators"). Used to turn
+/// (seed, stream id) pairs into well-separated engine seeds.
+inline constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seeded pseudo-random generator with convenience fills. Single-owner:
+/// give each concurrent task its own instance (see derive()).
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL)
+      : seed_(seed), engine_(seed) {}
+
+  /// A decorrelated child generator for work-item `stream`. Derivation
+  /// depends only on (constructor seed, stream) — not on how many values
+  /// this Rng has produced, the thread count, or execution order — so
+  /// parallel code that derives one stream per work item reproduces the
+  /// same numbers at any RSRPA_THREADS. Distinct streams give unrelated
+  /// sequences (splitmix64-mixed seeds).
+  [[nodiscard]] Rng derive(std::uint64_t stream) const {
+    return Rng(splitmix64(seed_ ^ splitmix64(stream)));
+  }
+
+  /// The seed this generator was constructed with (derivation base).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0) {
@@ -47,6 +84,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

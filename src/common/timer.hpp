@@ -4,8 +4,16 @@
 // used to produce the per-kernel timing breakdown of the paper's Fig. 5
 // (nu^{1/2} chi0 nu^{1/2} apply, matmult, eigensolve, eval error). Scoped
 // accumulation via ScopedKernelTimer keeps call sites one line.
+//
+// Threading contract: WallTimer, KernelTimers and ScopedKernelTimer are
+// SINGLE-OWNER — one thread constructs, accumulates and reads; sharing an
+// instance across concurrent sched tasks is a data race. Concurrent code
+// either gives each task its own instance and merges afterwards (the
+// per-rank pattern in par/parallel_rpa) or accumulates through WallClock,
+// whose atomic bucket many tasks may share.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <string>
@@ -26,6 +34,32 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Add `seconds` to an atomic double bucket (CAS loop; C++20's
+/// fetch_add(double) is not yet universal across standard libraries).
+inline void atomic_add_seconds(std::atomic<double>& bucket, double seconds) {
+  double cur = bucket.load(std::memory_order_relaxed);
+  while (!bucket.compare_exchange_weak(cur, cur + seconds,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// RAII stopwatch that adds the lifetime of the scope into an atomic
+/// bucket on destruction. Unlike WallTimer + manual accumulation, a
+/// single bucket may be shared by many concurrent sched tasks — this is
+/// the form the per-rank timing in par/parallel_rpa and the pool's
+/// per-worker busy counters use inside tasks.
+class WallClock {
+ public:
+  explicit WallClock(std::atomic<double>& bucket) : bucket_(bucket) {}
+  ~WallClock() { atomic_add_seconds(bucket_, timer_.seconds()); }
+  WallClock(const WallClock&) = delete;
+  WallClock& operator=(const WallClock&) = delete;
+
+ private:
+  std::atomic<double>& bucket_;
+  WallTimer timer_;
 };
 
 /// Named accumulator of kernel times. Not thread-safe by design: each

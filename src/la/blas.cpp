@@ -2,15 +2,28 @@
 
 #include <cmath>
 
+#include "sched/parallel_for.hpp"
+
 namespace rsrpa::la {
 
 namespace {
 
-// Cache-block sizes chosen so an (MB x KB) panel of A and a (KB x NB)
-// panel of B fit comfortably in L2 for double and complex<double>.
-constexpr std::size_t kMB = 64;
+// Cache-block sizes chosen so a (KB x NB) panel of B and the streamed
+// columns of A fit comfortably in L2 for double and complex<double>.
 constexpr std::size_t kNB = 64;
 constexpr std::size_t kKB = 256;
+
+// Minimum mul-adds worth one sched task. Below this the GEMM runs as a
+// plain loop on the caller; above it, column ranges fan out on the global
+// pool. Column-disjoint writes keep the result bitwise identical to the
+// serial path at every thread count.
+constexpr double kMinFlopsPerTask = 4.0e6;
+
+std::size_t column_grain(std::size_t flops_per_col) {
+  const double per_col = std::max<double>(static_cast<double>(flops_per_col), 1.0);
+  const double cols = kMinFlopsPerTask / per_col;
+  return cols <= 1.0 ? 1 : static_cast<std::size_t>(cols);
+}
 
 template <typename T>
 void gemm_nn_impl(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
@@ -25,23 +38,27 @@ void gemm_nn_impl(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
         for (std::size_t i = 0; i < m; ++i) c(i, j) *= beta;
   }
   // Column-major friendly ordering: for each (jj, kk) panel, stream down
-  // columns of C and A.
-#pragma omp parallel for schedule(static)
-  for (std::size_t jj = 0; jj < n; jj += kNB) {
-    const std::size_t jend = std::min(jj + kNB, n);
-    for (std::size_t kk = 0; kk < k; kk += kKB) {
-      const std::size_t kend = std::min(kk + kKB, k);
-      for (std::size_t j = jj; j < jend; ++j) {
-        for (std::size_t p = kk; p < kend; ++p) {
-          const T bpj = alpha * b(p, j);
-          if (bpj == T{0}) continue;
-          const T* acol = &a(0, p);
-          T* ccol = &c(0, j);
-          for (std::size_t i = 0; i < m; ++i) ccol[i] += acol[i] * bpj;
+  // columns of C and A. Tasks own disjoint column ranges (>= one kNB
+  // panel), so each output column sees the same FP sequence as the
+  // serial loop regardless of thread count.
+  const std::size_t grain = std::max(kNB, column_grain(m * k));
+  sched::parallel_for_range(0, n, grain, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t jj = cb; jj < ce; jj += kNB) {
+      const std::size_t jend = std::min(jj + kNB, ce);
+      for (std::size_t kk = 0; kk < k; kk += kKB) {
+        const std::size_t kend = std::min(kk + kKB, k);
+        for (std::size_t j = jj; j < jend; ++j) {
+          for (std::size_t p = kk; p < kend; ++p) {
+            const T bpj = alpha * b(p, j);
+            if (bpj == T{0}) continue;
+            const T* acol = &a(0, p);
+            T* ccol = &c(0, j);
+            for (std::size_t i = 0; i < m; ++i) ccol[i] += acol[i] * bpj;
+          }
         }
       }
     }
-  }
+  });
 }
 
 enum class Conj { No, Yes };
@@ -52,22 +69,25 @@ void gemm_tn_impl(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   RSRPA_REQUIRE(b.rows() == k && c.rows() == m && c.cols() == n);
   // Each C(i, j) is a dot product of two contiguous columns, so this shape
-  // is naturally cache-friendly; parallelize over output columns.
-#pragma omp parallel for schedule(static)
-  for (std::size_t j = 0; j < n; ++j) {
-    const T* bcol = &b(0, j);
-    for (std::size_t i = 0; i < m; ++i) {
-      const T* acol = &a(0, i);
-      T sum{};
-      if constexpr (kConj == Conj::Yes) {
-        for (std::size_t p = 0; p < k; ++p) sum += std::conj(acol[p]) * bcol[p];
-      } else {
-        for (std::size_t p = 0; p < k; ++p) sum += acol[p] * bcol[p];
+  // is naturally cache-friendly; parallelize over disjoint ranges of
+  // output columns.
+  const std::size_t grain = column_grain(m * k);
+  sched::parallel_for_range(0, n, grain, [&](std::size_t jb, std::size_t je) {
+    for (std::size_t j = jb; j < je; ++j) {
+      const T* bcol = &b(0, j);
+      for (std::size_t i = 0; i < m; ++i) {
+        const T* acol = &a(0, i);
+        T sum{};
+        if constexpr (kConj == Conj::Yes) {
+          for (std::size_t p = 0; p < k; ++p)
+            sum += std::conj(acol[p]) * bcol[p];
+        } else {
+          for (std::size_t p = 0; p < k; ++p) sum += acol[p] * bcol[p];
+        }
+        c(i, j) = alpha * sum + (beta == T{0} ? T{} : beta * c(i, j));
       }
-      c(i, j) = alpha * sum + (beta == T{0} ? T{} : beta * c(i, j));
     }
-  }
-  (void)kMB;
+  });
 }
 
 template <typename T>

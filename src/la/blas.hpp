@@ -1,9 +1,12 @@
 // Hand-rolled BLAS-1/2/3 kernels.
 //
 // No vendor BLAS is available in this environment, so the library carries
-// its own kernels. The GEMM variants are cache-blocked and parallelized
-// with OpenMP over the output; that is sufficient for the tall-and-skinny
-// shapes dominating this code (n_d x s with s <= a few hundred).
+// its own kernels. The GEMM variants are cache-blocked and, above a
+// flop-count threshold, fan column tiles out on the sched runtime
+// (sched::parallel_for over disjoint output-column ranges — bitwise
+// identical to the serial loop at any thread count); that is sufficient
+// for the tall-and-skinny shapes dominating this code (n_d x s with
+// s <= a few hundred).
 //
 // Transpose conventions: `t` means plain transpose WITHOUT conjugation.
 // COCG's conjugate-orthogonality products (W^T W, P^T A P) need the

@@ -8,6 +8,23 @@ Json to_json(const KernelTimers& timers) {
   return j;
 }
 
+Json to_json(const sched::PoolStats& stats) {
+  Json j = Json::object();
+  j["threads"] = stats.threads;
+  j["tasks"] = stats.tasks;
+  j["steals"] = stats.steals;
+  j["inline_tasks"] = stats.inline_tasks;
+  j["busy_seconds"] = stats.busy_seconds;
+  j["queue_seconds"] = stats.queue_seconds;
+  Json busy = Json::array();
+  for (double s : stats.worker_busy_seconds) busy.push_back(s);
+  j["worker_busy_seconds"] = std::move(busy);
+  Json tasks = Json::array();
+  for (long t : stats.worker_tasks) tasks.push_back(t);
+  j["worker_tasks"] = std::move(tasks);
+  return j;
+}
+
 Json to_json(const solver::SolveReport& rep) {
   Json j = Json::object();
   j["iterations"] = rep.iterations;
@@ -126,6 +143,7 @@ Json to_json(const par::ParallelRpaResult& res) {
   j["modeled"] = to_json(res.modeled);
   j["modeled_total_seconds"] = res.modeled_total_seconds;
   j["apply_work_seconds"] = res.apply_work_seconds;
+  j["sched"] = to_json(res.sched_stats);
 
   // Per-rank measured seconds, plus each rank's timers merged into the
   // bucket convention of the serial driver so rank rows and the Fig. 5

@@ -13,6 +13,7 @@
 #include "obs/json.hpp"
 #include "par/parallel_rpa.hpp"
 #include "rpa/erpa.hpp"
+#include "sched/pool_stats.hpp"
 #include "solver/dynamic_block.hpp"
 
 namespace rsrpa::obs {
@@ -21,6 +22,9 @@ inline constexpr const char* kRunReportSchema = "rsrpa.run_report/1";
 
 /// {bucket: seconds, ...} in sorted bucket order.
 Json to_json(const KernelTimers& timers);
+
+/// Scheduler telemetry: threads, tasks, steals, per-worker busy seconds.
+Json to_json(const sched::PoolStats& stats);
 
 Json to_json(const solver::SolveReport& rep);
 Json to_json(const solver::ChunkRecord& rec);

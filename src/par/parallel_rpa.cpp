@@ -1,41 +1,61 @@
 #include "par/parallel_rpa.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "la/blas.hpp"
 #include "la/eig.hpp"
 #include "la/qr.hpp"
 #include "rpa/quadrature.hpp"
+#include "sched/sched.hpp"
 #include "solver/chebyshev.hpp"
 
 namespace rsrpa::par {
 
 namespace {
 
-// Mutable state threaded through one simulated run.
+// Mutable state threaded through one run. rank_seconds points at the
+// atomic per-rank buckets applies are charged to (apply vs error phase).
 struct RunState {
   const rpa::NuChi0Operator* op = nullptr;
   const ColumnPartition* part = nullptr;
   double omega = 0.0;
   rpa::SternheimerStats* stats = nullptr;
   obs::EventLog* events = nullptr;
-  std::vector<double>* rank_seconds = nullptr;  // bucket to charge applies to
+  std::atomic<double>* rank_seconds = nullptr;
 };
 
-// Apply the operator to the full block, one rank slice at a time, timing
-// each slice into state.rank_seconds.
+// Apply the operator to the full block, one CONCURRENT task per rank
+// slice, timing each slice into its rank's bucket. Output columns are
+// disjoint, every task accumulates telemetry into its own sinks, and the
+// sinks merge in ascending rank order after the join — so both the
+// numbers and the telemetry stream are identical to sequential rank
+// execution at any thread count (the deterministic-execution guarantee).
 void ranked_apply(RunState& st, const la::Matrix<double>& in,
                   la::Matrix<double>& out) {
   const ColumnPartition& part = *st.part;
-  for (std::size_t r = 0; r < part.n_ranks(); ++r) {
+  const std::size_t p = part.n_ranks();
+  std::vector<rpa::SternheimerStats> rank_stats(p);
+  std::vector<obs::EventLog> rank_events(p);
+  sched::TaskGroup group;
+  for (std::size_t r = 0; r < p; ++r) {
     const std::size_t j0 = part.begin(r), cnt = part.count(r);
     if (cnt == 0) continue;
-    WallTimer t;
-    la::Matrix<double> slice = in.slice_cols(j0, cnt);
-    la::Matrix<double> oslice(in.rows(), cnt);
-    st.op->apply(slice, oslice, st.omega, st.stats, nullptr);
-    out.set_cols(j0, oslice);
-    (*st.rank_seconds)[r] += t.seconds();
+    group.run([&st, &in, &out, &rank_stats, &rank_events, r, j0, cnt] {
+      WallClock clock(st.rank_seconds[r]);
+      la::Matrix<double> slice = in.slice_cols(j0, cnt);
+      la::Matrix<double> oslice(in.rows(), cnt);
+      st.op->apply(slice, oslice, st.omega, &rank_stats[r], nullptr,
+                   &rank_events[r]);
+      out.set_cols(j0, oslice);
+    });
+  }
+  group.wait();
+  for (std::size_t r = 0; r < p; ++r) {
+    if (st.stats != nullptr) st.stats->merge(rank_stats[r]);
+    if (st.events != nullptr) st.events->merge(rank_events[r]);
   }
 }
 
@@ -47,11 +67,11 @@ struct RrStep {
 };
 
 RrStep ranked_rayleigh_ritz(RunState& st, la::Matrix<double>& v,
-                            std::vector<double>& rank_apply,
-                            std::vector<double>& rank_error) {
+                            std::atomic<double>* rank_apply,
+                            std::atomic<double>* rank_error) {
   const std::size_t n = v.rows(), m = v.cols();
   la::Matrix<double> av(n, m);
-  st.rank_seconds = &rank_apply;
+  st.rank_seconds = rank_apply;
   ranked_apply(st, v, av);
 
   RrStep out;
@@ -80,7 +100,7 @@ RrStep ranked_rayleigh_ritz(RunState& st, la::Matrix<double>& v,
                         {{"omega", st.omega},
                          {"subspace_dim", static_cast<double>(m)}});
       la::orthonormalize(v);
-      st.rank_seconds = &rank_apply;
+      st.rank_seconds = rank_apply;
       ranked_apply(st, v, av);
       la::gemm_tn(1.0, v, av, 0.0, hs);
       sub = la::sym_eig(hs);
@@ -97,21 +117,34 @@ RrStep ranked_rayleigh_ritz(RunState& st, la::Matrix<double>& v,
     out.matmult_seconds += t.seconds();
   }
 
-  // Convergence check (Eq. 7) with a fresh ranked apply.
-  st.rank_seconds = &rank_error;
+  // Convergence check (Eq. 7) with a fresh ranked apply. The norm sums —
+  // the MPI_Allreduce of the distributed setting — go through the
+  // fixed-shape tree of sched::parallel_reduce, so the error (and every
+  // filtering decision downstream of it) is bitwise identical at any
+  // thread count.
+  st.rank_seconds = rank_error;
   ranked_apply(st, v, av);
-  double sum_res = 0.0, sum_d2 = 0.0;
-  for (std::size_t j = 0; j < m; ++j) {
-    double r2 = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double r = av(i, j) - sub.values[j] * v(i, j);
-      r2 += r * r;
-    }
-    sum_res += std::sqrt(r2);
-    sum_d2 += sub.values[j] * sub.values[j];
-  }
-  out.error =
-      sum_res / (static_cast<double>(m) * std::max(std::sqrt(sum_d2), 1e-300));
+  const std::pair<double, double> sums = sched::parallel_reduce(
+      std::size_t{0}, m, std::size_t{4}, std::pair<double, double>{0.0, 0.0},
+      [&](std::size_t jb, std::size_t je) {
+        std::pair<double, double> acc{0.0, 0.0};
+        for (std::size_t j = jb; j < je; ++j) {
+          double r2 = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            const double r = av(i, j) - sub.values[j] * v(i, j);
+            r2 += r * r;
+          }
+          acc.first += std::sqrt(r2);
+          acc.second += sub.values[j] * sub.values[j];
+        }
+        return acc;
+      },
+      [](std::pair<double, double> a, std::pair<double, double> b) {
+        return std::pair<double, double>{a.first + b.first,
+                                         a.second + b.second};
+      });
+  out.error = sums.first / (static_cast<double>(m) *
+                            std::max(std::sqrt(sums.second), 1e-300));
   return out;
 }
 
@@ -124,6 +157,7 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
   const std::size_t p = opts.n_ranks;
   RSRPA_REQUIRE(m >= 1 && p >= 1);
   ColumnPartition part(m, p);
+  const sched::PoolStats sched_before = sched::global_pool().stats();
 
   // Each rank caps its block size at n_eig / p (paper SS III-D).
   rpa::RpaOptions ropts = opts.rpa;
@@ -132,9 +166,10 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
     ropts.stern.max_block = static_cast<int>(part.max_block_size());
 
   ParallelRpaResult result;
-  // Solver fallbacks land in the shared result event log (the simulated
-  // ranks execute sequentially, so no synchronization is needed).
-  ropts.stern.events = &result.rpa.events;
+  // Solver fallbacks land in per-rank event logs inside ranked_apply and
+  // merge into the shared result log in rank order after each join; the
+  // options-level sink stays null so concurrent tasks never share one.
+  ropts.stern.events = nullptr;
 
   rpa::NuChi0Operator op(sys, klap, ropts.stern);
   const auto quad = rpa::rpa_frequency_quadrature(ropts.ell);
@@ -142,6 +177,7 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
   result.n_ranks = p;
   result.rank_apply_seconds.assign(p, 0.0);
   result.rank_error_seconds.assign(p, 0.0);
+  std::vector<std::atomic<double>> rank_apply(p), rank_error(p);
 
   double matmult_seconds = 0.0, eigensolve_seconds = 0.0;
   long error_checks = 0;
@@ -168,8 +204,8 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
                                                   ropts.tol_eig.size() - 1)];
 
     WallTimer omega_timer;
-    RrStep rr = ranked_rayleigh_ritz(st, v, result.rank_apply_seconds,
-                                     result.rank_error_seconds);
+    RrStep rr =
+        ranked_rayleigh_ritz(st, v, rank_apply.data(), rank_error.data());
     matmult_seconds += rr.matmult_seconds;
     eigensolve_seconds += rr.eigensolve_seconds;
     ++error_checks;
@@ -181,7 +217,7 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
       // Same clamp as subspace_iteration: keep damp_lo strictly below the
       // damp_hi edge even if inexact solves push Ritz values past zero.
       const double damp_lo = std::min(rr.values.back(), -1e-9 * span);
-      st.rank_seconds = &result.rank_apply_seconds;
+      st.rank_seconds = rank_apply.data();
       solver::chebyshev_filter_op(
           [&st](const la::Matrix<double>& in, la::Matrix<double>& out) {
             ranked_apply(st, in, out);
@@ -189,8 +225,7 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
           v, ropts.cheb_degree, damp_lo, 1e-6 * span,
           std::min(d_min, damp_lo - 1e-6 * span));
 
-      rr = ranked_rayleigh_ritz(st, v, result.rank_apply_seconds,
-                                result.rank_error_seconds);
+      rr = ranked_rayleigh_ritz(st, v, rank_apply.data(), rank_error.data());
       matmult_seconds += rr.matmult_seconds;
       eigensolve_seconds += rr.eigensolve_seconds;
       ++error_checks;
@@ -214,6 +249,13 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
   result.rpa.e_rpa_per_atom =
       result.rpa.e_rpa / static_cast<double>(sys.h->crystal().n_atoms());
 
+  for (std::size_t r = 0; r < p; ++r) {
+    result.rank_apply_seconds[r] =
+        rank_apply[r].load(std::memory_order_relaxed);
+    result.rank_error_seconds[r] =
+        rank_error[r].load(std::memory_order_relaxed);
+  }
+
   // Assemble the modeled parallel wall clock.
   double max_apply = 0.0, max_err = 0.0;
   for (std::size_t r = 0; r < p; ++r) {
@@ -235,6 +277,7 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
   result.rpa.timers.add(rpa::kernels::kEvalError, result.modeled.eval_error);
   result.rpa.timers.add(rpa::kernels::kMatmult, result.modeled.matmult);
   result.rpa.timers.add(rpa::kernels::kEigensolve, result.modeled.eigensolve);
+  result.sched_stats = sched::global_pool().stats().since(sched_before);
   return result;
 }
 

@@ -4,11 +4,12 @@
 // The paper's parallelization (SS III-D) assigns each of p ranks a block
 // of n_eig/p eigenvector columns; the Sternheimer stage is embarrassingly
 // parallel, while the projected matmults and the dense eigensolve run
-// under ScaLAPACK. On this one-core machine the driver EXECUTES each
-// rank's column slice sequentially and TIMES it individually — capturing
-// the real load imbalance from linear-system difficulty and from the
-// s <= n_eig/p block-size cap — and then assembles the parallel wall time
-// per kernel:
+// under ScaLAPACK. The driver EXECUTES each rank's column slice as a real
+// concurrent task on the sched thread pool (one task per rank; serial in
+// submission order when RSRPA_THREADS=1) and TIMES each slice
+// individually — capturing the real load imbalance from linear-system
+// difficulty and from the s <= n_eig/p block-size cap — and then
+// assembles the parallel wall time per kernel:
 //
 //   nu_chi0     = max over ranks of measured slice time
 //   eval error  = max over ranks + modeled allreduce
@@ -23,6 +24,7 @@
 #include "par/collective_model.hpp"
 #include "par/partition.hpp"
 #include "rpa/erpa.hpp"
+#include "sched/pool_stats.hpp"
 
 namespace rsrpa::par {
 
@@ -56,6 +58,9 @@ struct ParallelRpaResult {
   /// Sum over ranks of all apply work — the "perfectly balanced" baseline
   /// used to quantify load imbalance.
   double apply_work_seconds = 0.0;
+  /// Thread-pool activity during this run (tasks, steals, per-worker busy
+  /// seconds), delta against the pool's state at run start.
+  sched::PoolStats sched_stats;
 };
 
 ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,

@@ -1,8 +1,21 @@
 #include "rpa/chi0.hpp"
 
+#include "sched/parallel_for.hpp"
 #include "solver/galerkin_guess.hpp"
 
 namespace rsrpa::rpa {
+
+namespace {
+
+// Column grain for the Hadamard-product loops (RHS build, complex
+// promotion, accumulation): writes are disjoint per column, so the
+// fan-out is bitwise identical to the serial loops at any thread count.
+std::size_t column_grain(std::size_t rows) {
+  constexpr std::size_t kElemsPerTask = 1u << 17;
+  return kElemsPerTask / std::max<std::size_t>(rows, 1) + 1;
+}
+
+}  // namespace
 
 void SternheimerStats::merge(const solver::DynamicBlockReport& rep) {
   for (const auto& [size, count] : rep.block_size_counts())
@@ -28,7 +41,8 @@ Chi0Applier::Chi0Applier(const dft::KsSystem& sys, SternheimerOptions opts)
 }
 
 void Chi0Applier::apply(const la::Matrix<double>& v, la::Matrix<double>& out,
-                        double omega, SternheimerStats* stats) const {
+                        double omega, SternheimerStats* stats,
+                        obs::EventLog* events) const {
   const std::size_t n = sys_.n_grid();
   const std::size_t s = v.cols();
   RSRPA_REQUIRE(v.rows() == n && out.rows() == n && out.cols() == s);
@@ -42,23 +56,26 @@ void Chi0Applier::apply(const la::Matrix<double>& v, la::Matrix<double>& out,
   dopts.enabled = opts_.dynamic_block;
   dopts.fixed_block = opts_.fixed_block;
   dopts.max_block = opts_.max_block;
-  dopts.events = opts_.events;
+  dopts.events = events != nullptr ? events : opts_.events;
 
   out.zero();
   la::Matrix<la::cplx> b(n, s), y(n, s);
   la::Matrix<double> b_real(n, s);
+  const std::size_t grain = column_grain(n);
 
   const ham::Hamiltonian& h = *sys_.h;
   for (std::size_t j = 0; j < sys_.n_occ(); ++j) {
     const double lambda = sys_.eigenvalues[j];
     auto psi = sys_.orbitals.col(j);
 
-    // Right-hand side B_j = -(V . Psi_j).
-    for (std::size_t c = 0; c < s; ++c) {
-      auto vcol = v.col(c);
-      auto bcol = b_real.col(c);
-      for (std::size_t i = 0; i < n; ++i) bcol[i] = -vcol[i] * psi[i];
-    }
+    // Right-hand side B_j = -(V . Psi_j), one task per column chunk.
+    sched::parallel_for(
+        0, s, grain,
+        [&](std::size_t c) {
+          auto vcol = v.col(c);
+          auto bcol = b_real.col(c);
+          for (std::size_t i = 0; i < n; ++i) bcol[i] = -vcol[i] * psi[i];
+        });
 
     // Initial guess: Galerkin projection onto the occupied manifold
     // (Eq. 13) or zero.
@@ -68,8 +85,11 @@ void Chi0Applier::apply(const la::Matrix<double>& v, la::Matrix<double>& out,
     } else {
       y.zero();
     }
-    for (std::size_t c = 0; c < s; ++c)
-      for (std::size_t i = 0; i < n; ++i) b(i, c) = {b_real(i, c), 0.0};
+    sched::parallel_for(
+        0, s, grain,
+        [&](std::size_t c) {
+          for (std::size_t i = 0; i < n; ++i) b(i, c) = {b_real(i, c), 0.0};
+        });
 
     solver::BlockOpC op = [&h, lambda, omega](const la::Matrix<la::cplx>& in,
                                               la::Matrix<la::cplx>& o) {
@@ -78,13 +98,16 @@ void Chi0Applier::apply(const la::Matrix<double>& v, la::Matrix<double>& out,
     solver::DynamicBlockReport rep = solver::solve_dynamic_block(op, b, y, dopts);
     if (stats != nullptr) stats->merge(rep);
 
-    // Accumulate (4 / dv) Re(Psi_j . Y_j).
+    // Accumulate (4 / dv) Re(Psi_j . Y_j). Columns are disjoint; the
+    // j-accumulation order within each column matches the serial loop.
     const double scale = 4.0 / h.grid().dv();
-    for (std::size_t c = 0; c < s; ++c) {
-      auto ocol = out.col(c);
-      for (std::size_t i = 0; i < n; ++i)
-        ocol[i] += scale * psi[i] * y(i, c).real();
-    }
+    sched::parallel_for(
+        0, s, grain,
+        [&](std::size_t c) {
+          auto ocol = out.col(c);
+          for (std::size_t i = 0; i < n; ++i)
+            ocol[i] += scale * psi[i] * y(i, c).real();
+        });
   }
 }
 

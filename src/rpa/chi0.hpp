@@ -54,9 +54,13 @@ class Chi0Applier {
   Chi0Applier(const dft::KsSystem& sys, SternheimerOptions opts);
 
   /// out = chi0(i omega) * v for a block of real vectors. `stats`
-  /// (optional) accumulates solver statistics.
+  /// (optional) accumulates solver statistics. `events` (optional)
+  /// overrides the options-level event sink for this call — concurrent
+  /// callers (the rank tasks of par/parallel_rpa) pass per-task logs here
+  /// because EventLog itself is single-owner.
   void apply(const la::Matrix<double>& v, la::Matrix<double>& out,
-             double omega, SternheimerStats* stats = nullptr) const;
+             double omega, SternheimerStats* stats = nullptr,
+             obs::EventLog* events = nullptr) const;
 
   [[nodiscard]] const dft::KsSystem& system() const { return sys_; }
   [[nodiscard]] const SternheimerOptions& options() const { return opts_; }

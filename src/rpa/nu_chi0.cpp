@@ -4,15 +4,15 @@ namespace rsrpa::rpa {
 
 void NuChi0Operator::apply(const la::Matrix<double>& in,
                            la::Matrix<double>& out, double omega,
-                           SternheimerStats* stats,
-                           KernelTimers* timers) const {
+                           SternheimerStats* stats, KernelTimers* timers,
+                           obs::EventLog* events) const {
   RSRPA_REQUIRE(in.rows() == n_grid() && out.rows() == in.rows() &&
                 out.cols() == in.cols());
   WallTimer total;
   la::Matrix<double> work = in;
-  klap_.apply_nu_sqrt_block(work);       // V <- nu^{1/2} V
-  chi0_.apply(work, out, omega, stats);  // V <- chi0 V (Sternheimer)
-  klap_.apply_nu_sqrt_block(out);        // V <- nu^{1/2} V
+  klap_.apply_nu_sqrt_block(work);  // V <- nu^{1/2} V
+  chi0_.apply(work, out, omega, stats, events);  // V <- chi0 V (Sternheimer)
+  klap_.apply_nu_sqrt_block(out);   // V <- nu^{1/2} V
   if (timers != nullptr) timers->add(kernels::kNuChi0, total.seconds());
 }
 

@@ -29,10 +29,13 @@ class NuChi0Operator {
                  SternheimerOptions stern_opts)
       : chi0_(sys, stern_opts), klap_(klap) {}
 
-  /// out = nu^{1/2} chi0(i omega) nu^{1/2} in (Algorithm 7).
+  /// out = nu^{1/2} chi0(i omega) nu^{1/2} in (Algorithm 7). `events`
+  /// optionally overrides the options-level event sink for this call
+  /// (per-task logs of concurrent callers; see Chi0Applier::apply).
   void apply(const la::Matrix<double>& in, la::Matrix<double>& out,
              double omega, SternheimerStats* stats = nullptr,
-             KernelTimers* timers = nullptr) const;
+             KernelTimers* timers = nullptr,
+             obs::EventLog* events = nullptr) const;
 
   [[nodiscard]] const Chi0Applier& chi0() const { return chi0_; }
   Chi0Applier& chi0() { return chi0_; }

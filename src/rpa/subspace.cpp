@@ -6,6 +6,7 @@
 #include "la/eig.hpp"
 #include "la/qr.hpp"
 #include "obs/event_log.hpp"
+#include "sched/parallel_for.hpp"
 #include "solver/chebyshev.hpp"
 
 namespace rsrpa::rpa {
@@ -85,14 +86,23 @@ RrOutcome rayleigh_ritz_and_error(const NuChi0Operator& op, double omega,
   {
     WallTimer t;
     op.apply(v, av, omega, stats, nullptr);  // time under eval_error
+    // Per-column residual norms fan out (disjoint slots); the final sum
+    // stays serial in ascending j so the error — and through it every
+    // filtering decision — is bitwise identical at any thread count.
+    std::vector<double> col_res(m, 0.0);
+    sched::parallel_for(
+        0, m, 4,
+        [&](std::size_t j) {
+          double r2 = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            const double r = av(i, j) - sub.values[j] * v(i, j);
+            r2 += r * r;
+          }
+          col_res[j] = std::sqrt(r2);
+        });
     double sum_res = 0.0, sum_d2 = 0.0;
     for (std::size_t j = 0; j < m; ++j) {
-      double r2 = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        const double r = av(i, j) - sub.values[j] * v(i, j);
-        r2 += r * r;
-      }
-      sum_res += std::sqrt(r2);
+      sum_res += col_res[j];
       sum_d2 += sub.values[j] * sub.values[j];
     }
     out.error = sum_res / (static_cast<double>(m) *

@@ -1,0 +1,70 @@
+// Ordered parallel reduction with a FIXED-SHAPE pairwise combine tree.
+//
+// Floating-point addition is not associative, so a reduction whose
+// combine order depends on scheduling produces run-to-run jitter — the
+// classic reason "the same input" gives different energies at different
+// thread counts. This reduction removes the schedule from the result:
+//
+//   1. [begin, end) is cut into ceil(n / grain) chunks — a function of
+//      (n, grain) ONLY, never of the thread count;
+//   2. map(chunk_begin, chunk_end) produces one partial per chunk, each
+//      written to its own slot (disjoint; chunks may run in any order);
+//   3. partials are combined level by level in a pairwise tree whose
+//      shape is again fixed by the chunk count: level k combines slot
+//      2i with slot 2i+1, an odd tail slot is carried up unchanged.
+//
+// Hence the result is BITWISE IDENTICAL at every thread count for the
+// same (range, grain) — the deterministic-reduction guarantee the RPA
+// drivers rely on (docs/REPRODUCING.md, "Threaded execution"). Note the
+// tree result intentionally differs (at rounding level) from a serial
+// left fold; determinism across schedules, not serial-fold equality, is
+// the contract.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sched/parallel_for.hpp"
+
+namespace rsrpa::sched {
+
+/// Reduce [begin, end) with partials T = map(chunk_b, chunk_e) combined
+/// by T = combine(left, right) over the fixed pairwise tree. Returns
+/// `identity` for an empty range. `combine` runs serially on the caller
+/// (tree depth is log2(n/grain); the partials carry the heavy work).
+template <class T, class Map, class Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  T identity, Map&& map, Combine&& combine,
+                  ThreadPool& pool = global_pool()) {
+  if (end <= begin) return identity;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t n_chunks = (end - begin + grain - 1) / grain;
+
+  std::vector<T> parts;
+  parts.reserve(n_chunks);
+  for (std::size_t k = 0; k < n_chunks; ++k) parts.push_back(identity);
+  parallel_for_range(
+      0, n_chunks, 1,
+      [&](std::size_t kb, std::size_t ke) {
+        for (std::size_t k = kb; k < ke; ++k) {
+          const std::size_t b = begin + k * grain;
+          const std::size_t e = b + grain < end ? b + grain : end;
+          parts[k] = map(b, e);
+        }
+      },
+      pool);
+
+  // Fixed pairwise tree: shape depends only on n_chunks.
+  std::size_t width = n_chunks;
+  while (width > 1) {
+    const std::size_t half = width / 2;
+    for (std::size_t i = 0; i < half; ++i)
+      parts[i] = combine(std::move(parts[2 * i]), std::move(parts[2 * i + 1]));
+    if (width % 2 == 1) parts[half] = std::move(parts[width - 1]);
+    width = half + width % 2;
+  }
+  return std::move(parts[0]);
+}
+
+}  // namespace rsrpa::sched

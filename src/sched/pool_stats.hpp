@@ -1,0 +1,52 @@
+// Execution statistics of the task-parallel runtime.
+//
+// Every task run through a ThreadPool (or inline on the caller when the
+// pool is serial) is counted, together with its queue wait and run time,
+// into a per-lane accumulator. PoolStats is the plain-data snapshot of
+// those accumulators: it serializes through the obs RunReport machinery
+// (obs::to_json in obs/run_report.hpp) so bench reports and parallel-run
+// records can carry scheduler telemetry next to the solver telemetry.
+//
+// Lane convention: lanes [0, threads-1) are the pool's worker threads;
+// the LAST lane aggregates work executed on caller threads — inline-mode
+// tasks and tasks helped along inside TaskGroup::wait().
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rsrpa::sched {
+
+struct PoolStats {
+  int threads = 1;      ///< configured concurrency (workers + caller lane)
+  long tasks = 0;       ///< tasks executed, over all lanes
+  long steals = 0;      ///< tasks taken from another worker's deque
+  long inline_tasks = 0;  ///< tasks run on a caller thread (serial mode
+                          ///< or help-join inside TaskGroup::wait)
+  double busy_seconds = 0.0;   ///< sum over lanes of task run time
+  double queue_seconds = 0.0;  ///< sum over tasks of enqueue->start wait
+  std::vector<double> worker_busy_seconds;  ///< per-lane busy time
+  std::vector<long> worker_tasks;           ///< per-lane task counts
+
+  /// Counters accumulated since `baseline` was snapshotted from the same
+  /// pool. Used to attribute a pool-lifetime delta to one run. Falls back
+  /// to *this when the pool was reconfigured in between (lane mismatch).
+  [[nodiscard]] PoolStats since(const PoolStats& baseline) const {
+    if (baseline.threads != threads ||
+        baseline.worker_busy_seconds.size() != worker_busy_seconds.size())
+      return *this;
+    PoolStats out = *this;
+    out.tasks -= baseline.tasks;
+    out.steals -= baseline.steals;
+    out.inline_tasks -= baseline.inline_tasks;
+    out.busy_seconds -= baseline.busy_seconds;
+    out.queue_seconds -= baseline.queue_seconds;
+    for (std::size_t i = 0; i < out.worker_busy_seconds.size(); ++i)
+      out.worker_busy_seconds[i] -= baseline.worker_busy_seconds[i];
+    for (std::size_t i = 0; i < out.worker_tasks.size(); ++i)
+      out.worker_tasks[i] -= baseline.worker_tasks[i];
+    return out;
+  }
+};
+
+}  // namespace rsrpa::sched

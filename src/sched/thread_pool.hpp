@@ -1,0 +1,138 @@
+// Fixed-size thread pool with per-worker work-stealing deques — the
+// execution substrate behind sched::TaskGroup / parallel_for /
+// parallel_reduce and, through them, the concurrent stages of the RPA
+// drivers (par/parallel_rpa rank slices, rpa/chi0 RHS blocks, la/blas
+// tiled GEMM).
+//
+// Lane model: a pool configured for `threads` lanes spawns `threads - 1`
+// worker threads; the caller thread is the last lane and participates by
+// help-running queued tasks inside TaskGroup::wait(). `threads == 1` is
+// the guaranteed-serial INLINE mode — no threads are spawned, no queues
+// are touched, and every task runs immediately on the caller in submission
+// order, which is what makes single-threaded runs exactly reproduce the
+// pre-sched serial code path.
+//
+// Queue discipline: a worker pushes and pops its own deque at the back
+// (LIFO, cache-warm); idle workers and helping callers steal from other
+// deques at the front (FIFO, oldest first). Submissions from non-worker
+// threads land in a shared external deque that workers also steal from.
+//
+// Determinism: the pool itself makes no ordering promises — determinism
+// at any thread count is a property of the algorithms on top (disjoint
+// writes in parallel_for, the fixed-shape combine tree in
+// parallel_reduce), never of scheduling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "sched/pool_stats.hpp"
+
+namespace rsrpa::sched {
+
+struct SchedOptions {
+  /// Total concurrency (workers + caller lane). 0 = auto: the
+  /// RSRPA_THREADS environment variable if set to a positive integer,
+  /// otherwise std::thread::hardware_concurrency().
+  int threads = 0;
+};
+
+/// Parse a thread-count spec ("4"). Returns 0 for null/empty/non-numeric/
+/// non-positive input (meaning "not specified").
+int parse_threads(const char* spec);
+
+/// Resolve SchedOptions::threads to a concrete lane count >= 1.
+int resolve_threads(const SchedOptions& opts);
+
+class TaskGroup;
+
+class ThreadPool {
+ public:
+  /// `threads` as in SchedOptions (0 = auto-resolve).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured lane count (>= 1).
+  [[nodiscard]] int threads() const { return n_lanes_; }
+  /// True in inline mode: tasks run on the caller, nothing is queued.
+  [[nodiscard]] bool serial() const { return n_lanes_ == 1; }
+
+  [[nodiscard]] PoolStats stats() const;
+  void reset_stats();
+
+  // ----- task plumbing (used by TaskGroup and the parallel algorithms) --
+
+  /// Queue a task for the workers. `group` receives completion and
+  /// exception notifications; it must outlive the task.
+  void submit(std::function<void()> fn, TaskGroup* group);
+
+  /// Run a task immediately on the calling thread (inline mode), with the
+  /// same group bookkeeping as a queued task.
+  void execute_now(std::function<void()> fn, TaskGroup* group);
+
+  /// Try to run one queued task on the calling thread. Returns false if
+  /// no task was available. This is the help-join primitive: waiting
+  /// callers drain the queues instead of idling, so nested TaskGroups on
+  /// worker threads cannot deadlock the pool.
+  bool help_one();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+    WallTimer queued;  ///< started at submission; read at dequeue
+  };
+
+  struct LaneStats {
+    std::atomic<long> tasks{0};
+    std::atomic<long> steals{0};
+    std::atomic<long> inline_tasks{0};
+    std::atomic<double> busy_seconds{0.0};
+    std::atomic<double> queue_seconds{0.0};
+  };
+
+  struct Deque {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  /// Pop from the lane's own deque (back) or steal (front) from the
+  /// others. `lane` may be the caller lane (owns the external deque).
+  bool take_task(std::size_t lane, Task& out, bool& stolen);
+  void run_task(Task&& task, std::size_t lane, bool stolen);
+  [[nodiscard]] std::size_t caller_lane() const {
+    return static_cast<std::size_t>(n_lanes_) - 1;
+  }
+
+  int n_lanes_ = 1;  ///< workers + 1 caller lane
+  // deques_[w] for worker w in [0, n_lanes_-1); deques_[n_lanes_-1] is the
+  // shared external deque fed by non-worker threads.
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::unique_ptr<LaneStats>> lane_stats_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<long> queued_{0};
+  std::atomic<bool> stop_{false};
+};
+
+/// The process-wide pool used by default throughout the library. Built
+/// lazily from SchedOptions{} (i.e. RSRPA_THREADS or the hardware count).
+ThreadPool& global_pool();
+
+/// Replace the global pool with one of `threads` lanes (0 = auto).
+/// Intended for startup, benches and tests; not safe while other threads
+/// are concurrently using the previous global pool.
+void set_global_threads(int threads);
+
+}  // namespace rsrpa::sched

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "par/load_balance.hpp"
+#include "par/partition.hpp"
 #include "direct/direct_rpa.hpp"
 #include "rpa/erpa_slq.hpp"
 #include "rpa/presets.hpp"
@@ -61,6 +62,75 @@ TEST(Schedules, LptWithinClassicBound) {
     EXPECT_LE(r.makespan,
               (4.0 / 3.0 - 1.0 / (3.0 * static_cast<double>(p))) * opt_lb *
                   (1.0 + 1e-12) + opt_lb * 1e-9);
+  }
+}
+
+TEST(Schedules, MoreRanksThanItems) {
+  // p > n: some ranks stay idle; the makespan is the heaviest single item
+  // for every strategy and no work is invented or lost.
+  const std::vector<double> items = {2.0, 5.0, 1.0};
+  for (auto* fn : {par::static_schedule, par::manager_worker_schedule,
+                   par::lpt_schedule}) {
+    const par::ScheduleResult r = fn(items, 7);
+    ASSERT_EQ(r.rank_loads.size(), 7u);
+    EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+    const double sum =
+        std::accumulate(r.rank_loads.begin(), r.rank_loads.end(), 0.0);
+    EXPECT_DOUBLE_EQ(sum, 8.0);
+    // At most n ranks carry load.
+    int loaded = 0;
+    for (double l : r.rank_loads) loaded += l > 0.0 ? 1 : 0;
+    EXPECT_LE(loaded, 3);
+  }
+}
+
+TEST(Schedules, SingleItemAtEveryRankCount) {
+  const std::vector<double> items = {4.2};
+  for (std::size_t p : {1u, 2u, 5u, 16u}) {
+    for (auto* fn : {par::static_schedule, par::manager_worker_schedule,
+                     par::lpt_schedule}) {
+      const par::ScheduleResult r = fn(items, p);
+      EXPECT_DOUBLE_EQ(r.makespan, 4.2);
+      // One rank owns the item; a single item can never be balanced, so
+      // imbalance is exactly p.
+      EXPECT_DOUBLE_EQ(r.imbalance(), static_cast<double>(p));
+    }
+  }
+}
+
+TEST(Schedules, ZeroCostItemsAreSafe) {
+  // All-zero measured costs (e.g. timer resolution underflow on trivial
+  // columns) must not divide by zero: imbalance defaults to 1.0.
+  const std::vector<double> items(12, 0.0);
+  for (std::size_t p : {1u, 3u, 12u}) {
+    for (auto* fn : {par::static_schedule, par::manager_worker_schedule,
+                     par::lpt_schedule}) {
+      const par::ScheduleResult r = fn(items, p);
+      EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+      EXPECT_DOUBLE_EQ(r.imbalance(), 1.0);
+    }
+  }
+}
+
+TEST(ColumnPartition, ExhaustiveAndDisjointAtEveryRankCount) {
+  // For every admissible p, the ranks' [begin, begin+count) intervals
+  // must tile [0, n) exactly: contiguous, disjoint, balanced within one
+  // column, with the paper's s <= n/p block cap.
+  for (std::size_t n : {1u, 2u, 7u, 16u, 33u}) {
+    for (std::size_t p = 1; p <= n; ++p) {
+      par::ColumnPartition part(n, p);
+      std::size_t next = 0;
+      const std::size_t base = n / p;
+      for (std::size_t r = 0; r < p; ++r) {
+        EXPECT_EQ(part.begin(r), next) << "n=" << n << " p=" << p << " r=" << r;
+        const std::size_t cnt = part.count(r);
+        EXPECT_GE(cnt, base);
+        EXPECT_LE(cnt, base + 1);
+        next += cnt;
+      }
+      EXPECT_EQ(next, n) << "partition must cover all columns";
+      EXPECT_EQ(part.max_block_size(), base);
+    }
   }
 }
 

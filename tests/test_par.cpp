@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "par/parallel_rpa.hpp"
+#include "rpa/erpa.hpp"
 #include "rpa/presets.hpp"
+#include "sched/thread_pool.hpp"
 
 namespace rsrpa::par {
 namespace {
@@ -145,6 +148,56 @@ TEST_F(ParallelRpaTest, BlockSizeCapFollowsPartition) {
   ParallelRpaResult res = run_parallel_rpa(b.ks, *b.klap, opts);
   for (const auto& [size, count] : res.rpa.stern.block_size_chunks)
     EXPECT_LE(size, 2);
+}
+
+// The deterministic-execution acceptance criterion: both drivers produce
+// the SAME BITS at 1 and 4 threads, on two different preset systems. The
+// serial driver relies on disjoint-write parallel_for (identical FP order
+// per element); the ranked driver additionally routes its norm reductions
+// through the fixed-shape tree of parallel_reduce.
+TEST(ThreadDeterminism, BitwiseIdenticalEnergiesAtAnyThreadCount) {
+  for (bool vacancy : {false, true}) {
+    SCOPED_TRACE(vacancy ? "Si vacancy preset" : "Si pristine preset");
+    rpa::SystemPreset preset = rpa::make_si_preset(1, vacancy);
+    preset.grid_per_cell = 7;
+    preset.n_eig_per_atom = 2;
+    preset.fd_radius = 3;
+    rpa::BuiltSystem b = rpa::build_system(preset);
+
+    ParallelRpaOptions opts;
+    opts.rpa = b.default_rpa_options();
+    opts.rpa.ell = 2;
+    opts.rpa.tol_eig = {4e-3, 2e-3};
+    // Algorithm 4 chooses Sternheimer block sizes from MEASURED chunk wall
+    // time, so its partition is schedule-dependent by construction (it was
+    // never run-to-run reproducible, even serially). Pin the block size so
+    // the comparison isolates the runtime's determinism.
+    opts.rpa.stern.dynamic_block = false;
+    opts.n_ranks = 4;
+
+    sched::set_global_threads(1);
+    const double serial_1 = rpa::compute_rpa_energy(b.ks, *b.klap, opts.rpa).e_rpa;
+    const ParallelRpaResult par_1 = run_parallel_rpa(b.ks, *b.klap, opts);
+
+    sched::set_global_threads(4);
+    const double serial_4 = rpa::compute_rpa_energy(b.ks, *b.klap, opts.rpa).e_rpa;
+    const ParallelRpaResult par_4 = run_parallel_rpa(b.ks, *b.klap, opts);
+    sched::set_global_threads(1);
+
+    EXPECT_EQ(std::memcmp(&serial_1, &serial_4, sizeof(double)), 0)
+        << "run_rpa: " << serial_1 << " vs " << serial_4;
+    EXPECT_EQ(std::memcmp(&par_1.rpa.e_rpa, &par_4.rpa.e_rpa, sizeof(double)),
+              0)
+        << "run_parallel_rpa: " << par_1.rpa.e_rpa << " vs "
+        << par_4.rpa.e_rpa;
+    EXPECT_LT(serial_1, 0.0);
+
+    // The threaded run really went through the pool, and the result
+    // carries its scheduler telemetry.
+    EXPECT_EQ(par_4.sched_stats.threads, 4);
+    EXPECT_GT(par_4.sched_stats.tasks, 0);
+    EXPECT_EQ(par_1.sched_stats.threads, 1);
+  }
 }
 
 TEST_F(ParallelRpaTest, ModeledNuChi0TimeShrinksWithRanks) {
