@@ -19,6 +19,21 @@
 //   FD_RADIUS        stencil radius                   (default 4)
 //   PERTURBATION     atom jitter / lattice constant   (default 0.01)
 //   SEED             crystal RNG seed                 (default 7)
+//
+// Failure-semantics keys (docs/REPRODUCING.md, "Failure semantics"):
+//   RESILIENCE         1 = breakdown-recovery ladder on (default 1)
+//   MAX_RESTARTS       rung-1 restart budget per block (default 1)
+//   STAGNATION_WINDOW  iterations without improvement before breakdown
+//                      (default 0 = off)
+//   STAGNATION_FACTOR  required improvement per window (default 0.99)
+//   FAULT_MODE         none|nan|perturb|zero            (default none)
+//   FAULT_AT_APPLY     apply index of the first fault   (default 1)
+//   FAULT_PERIOD       refire period; 0 = fire once     (default 0)
+//   FAULT_MAX          total fault budget per orbital   (default 1)
+//   FAULT_MAGNITUDE    perturbation scale               (default 1e-2)
+//   FAULT_ORBITAL      occupied orbital to hit; -1 = all
+//   FAULT_OMEGA        quadrature point to hit; -1 = all
+//   FAULT_SEED         RNG base for perturbed matvecs
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -56,6 +71,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Validate the fault mode before paying for the system build: a typo in
+  // a chaos-drill config should fail in milliseconds.
+  solver::FaultMode fault_mode = solver::FaultMode::kNone;
+  try {
+    fault_mode = solver::fault_mode_from_string(
+        cfg.has("FAULT_MODE") ? cfg.get_string("FAULT_MODE") : "none");
+  } catch (const Error& e) {
+    std::fprintf(stderr, "rpacalc: %s\n", e.what());
+    return 2;
+  }
+
   rpa::SystemPreset preset;
   preset.ncells = static_cast<std::size_t>(cfg.get_int_or("N_CELLS", 1));
   preset.name = "Si" + std::to_string(8 * preset.ncells);
@@ -78,6 +104,22 @@ int main(int argc, char** argv) {
   opts.max_filter_iter = cfg.get_int_or("MAXIT_FILTERING", 10);
   opts.cheb_degree = cfg.get_int_or("CHEB_DEGREE_RPA", 2);
   opts.stern.galerkin_guess = cfg.get_int_or("FLAG_COCGINITIAL", 1) != 0;
+
+  // Failure semantics: recovery ladder, stagnation detection, and the
+  // deterministic fault-injection harness (chaos drills / tests).
+  opts.stern.resilience.enabled = cfg.get_int_or("RESILIENCE", 1) != 0;
+  opts.stern.resilience.max_restarts = cfg.get_int_or("MAX_RESTARTS", 1);
+  opts.stern.stagnation_window = cfg.get_int_or("STAGNATION_WINDOW", 0);
+  opts.stern.stagnation_factor = cfg.get_double_or("STAGNATION_FACTOR", 0.99);
+  opts.stern.fault.mode = fault_mode;
+  opts.stern.fault.at_apply = cfg.get_int_or("FAULT_AT_APPLY", 1);
+  opts.stern.fault.period = cfg.get_int_or("FAULT_PERIOD", 0);
+  opts.stern.fault.max_faults = cfg.get_int_or("FAULT_MAX", 1);
+  opts.stern.fault.magnitude = cfg.get_double_or("FAULT_MAGNITUDE", 1e-2);
+  opts.stern.fault.orbital = cfg.get_int_or("FAULT_ORBITAL", -1);
+  opts.fault_omega = cfg.get_int_or("FAULT_OMEGA", -1);
+  if (cfg.has("FAULT_SEED"))
+    opts.stern.fault.seed = static_cast<std::uint64_t>(cfg.get_int("FAULT_SEED"));
 
   rpa::RpaResult res = rpa::compute_rpa_energy(sys.ks, *sys.klap, opts);
 
@@ -103,6 +145,16 @@ int main(int argc, char** argv) {
                 "Total walltime: %.3f sec\n",
                 res.e_rpa, res.e_rpa_per_atom, res.total_seconds);
   out << line;
+  if (res.degraded) {
+    long quarantined = 0;
+    for (const rpa::OmegaRecord& r : res.per_omega)
+      quarantined += r.quarantined_columns;
+    std::snprintf(line, sizeof line,
+                  "WARNING: degraded run — %ld Sternheimer column(s) "
+                  "quarantined (see the quad_point_degraded events)\n",
+                  quarantined);
+    out << line;
+  }
 
   std::ofstream f(name + ".out");
   f << out.str();

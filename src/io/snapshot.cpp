@@ -14,9 +14,13 @@ void write_u64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof v);
 }
 
-std::uint64_t read_u64(std::istream& in) {
+// Checked read: a short read would otherwise silently yield 0 (the buffer
+// stays zero-initialized at EOF) and corrupt every downstream plausibility
+// check, so the stream state is validated per read, not after the fact.
+std::uint64_t read_u64(std::istream& in, const char* what) {
   std::uint64_t v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof v);
+  RSRPA_REQUIRE_MSG(in.good(), std::string("snapshot: truncated ") + what);
   return v;
 }
 
@@ -37,9 +41,14 @@ void write_matrix_body(std::ostream& out, const la::Matrix<double>& m) {
 }
 
 la::Matrix<double> read_matrix_body(std::istream& in) {
-  const std::uint64_t rows = read_u64(in), cols = read_u64(in);
-  RSRPA_REQUIRE_MSG(in.good() && rows > 0 && cols > 0 &&
-                        rows * cols < (1ull << 34),
+  const std::uint64_t rows = read_u64(in, "matrix rows");
+  const std::uint64_t cols = read_u64(in, "matrix cols");
+  // Validate each dimension individually before touching the product: a
+  // corrupt header like rows = cols = 2^33 wraps rows * cols mod 2^64 to
+  // 0 and would sail through a product-only plausibility check.
+  constexpr std::uint64_t kMaxElems = 1ull << 34;
+  RSRPA_REQUIRE_MSG(rows > 0 && cols > 0 && rows < kMaxElems &&
+                        cols < kMaxElems && rows <= kMaxElems / cols,
                     "snapshot: implausible matrix shape");
   la::Matrix<double> m(static_cast<std::size_t>(rows),
                        static_cast<std::size_t>(cols));
@@ -96,9 +105,18 @@ KsSnapshot load_ks_snapshot(const std::string& path) {
   RSRPA_REQUIRE_MSG(in.good(), "cannot open " + path);
   check_magic(in, kKsMagic, path);
   KsSnapshot snap;
-  snap.nx = static_cast<std::size_t>(read_u64(in));
-  snap.ny = static_cast<std::size_t>(read_u64(in));
-  snap.nz = static_cast<std::size_t>(read_u64(in));
+  const std::uint64_t nx = read_u64(in, "grid nx");
+  const std::uint64_t ny = read_u64(in, "grid ny");
+  const std::uint64_t nz = read_u64(in, "grid nz");
+  // Per-axis bounds so nx * ny * nz (used for the shape consistency check
+  // below) cannot overflow for a corrupt header.
+  constexpr std::uint64_t kMaxAxis = 1ull << 16;
+  RSRPA_REQUIRE_MSG(nx > 0 && ny > 0 && nz > 0 && nx < kMaxAxis &&
+                        ny < kMaxAxis && nz < kMaxAxis,
+                    "snapshot: implausible grid dimensions");
+  snap.nx = static_cast<std::size_t>(nx);
+  snap.ny = static_cast<std::size_t>(ny);
+  snap.nz = static_cast<std::size_t>(nz);
   double geom[3] = {};
   read_doubles(in, geom, 3);
   snap.lx = geom[0];
@@ -106,10 +124,11 @@ KsSnapshot load_ks_snapshot(const std::string& path) {
   snap.lz = geom[2];
   double gap[2] = {};
   read_doubles(in, gap, 2);
+  RSRPA_REQUIRE_MSG(in.good(), "snapshot: truncated geometry header");
   snap.homo = gap[0];
   snap.lumo = gap[1];
-  const std::uint64_t ns = read_u64(in);
-  RSRPA_REQUIRE_MSG(in.good() && ns > 0 && ns < (1ull << 24),
+  const std::uint64_t ns = read_u64(in, "orbital count");
+  RSRPA_REQUIRE_MSG(ns > 0 && ns < (1ull << 24),
                     "snapshot: implausible orbital count");
   snap.eigenvalues.resize(static_cast<std::size_t>(ns));
   read_doubles(in, snap.eigenvalues.data(), snap.eigenvalues.size());

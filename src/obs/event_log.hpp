@@ -25,6 +25,13 @@ inline constexpr const char* kSolverBreakdown = "solver_breakdown";
 inline constexpr const char* kSingleColumnFallback = "single_column_fallback";
 inline constexpr const char* kEigensolveCollapse = "eigensolve_collapse";
 inline constexpr const char* kTraceTermDomain = "trace_term_domain";
+// Recovery-ladder events (solver/resilience.hpp), in escalation order.
+inline constexpr const char* kSolverRestart = "solver_restart";
+inline constexpr const char* kBlockDeflation = "block_deflation";
+inline constexpr const char* kSolverSwap = "solver_swap";
+inline constexpr const char* kColumnQuarantine = "column_quarantine";
+// Driver-level summary: a quadrature point with quarantined columns.
+inline constexpr const char* kQuadPointDegraded = "quad_point_degraded";
 }  // namespace events
 
 struct Event {

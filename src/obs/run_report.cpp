@@ -48,6 +48,10 @@ Json to_json(const solver::ChunkRecord& rec) {
   j["seconds"] = rec.seconds;
   j["converged"] = rec.converged;
   j["fallback"] = rec.fallback;
+  j["restarts"] = rec.restarts;
+  j["deflations"] = rec.deflations;
+  j["solver_swaps"] = rec.solver_swaps;
+  j["quarantined"] = rec.quarantined;
   return j;
 }
 
@@ -71,6 +75,12 @@ Json to_json(const solver::DynamicBlockReport& rep) {
     hist[std::to_string(size)] = count;
   j["block_size_counts"] = std::move(hist);
   j["fallback_chunks"] = fallbacks;
+  j["total_restarts"] = rep.total_restarts;
+  j["total_deflations"] = rep.total_deflations;
+  j["total_solver_swaps"] = rep.total_solver_swaps;
+  Json quarantined = Json::array();
+  for (long c : rep.quarantined_columns) quarantined.push_back(c);
+  j["quarantined_columns"] = std::move(quarantined);
 
   Json chunks = Json::array();
   for (const solver::ChunkRecord& c : rep.chunks) chunks.push_back(to_json(c));
@@ -88,6 +98,10 @@ Json to_json(const rpa::SternheimerStats& stats) {
   j["matvec_columns"] = stats.matvec_columns;
   j["seconds"] = stats.seconds;
   j["all_converged"] = stats.all_converged;
+  j["restarts"] = stats.restarts;
+  j["deflations"] = stats.deflations;
+  j["solver_swaps"] = stats.solver_swaps;
+  j["quarantined_columns"] = stats.quarantined_columns;
   return j;
 }
 
@@ -104,6 +118,8 @@ Json to_json(const rpa::OmegaRecord& rec) {
     j["invalid_terms"] = rec.invalid_terms;
     j["worst_mu"] = rec.worst_mu;
   }
+  if (rec.quarantined_columns > 0)
+    j["quarantined_columns"] = rec.quarantined_columns;
   Json eig = Json::array();
   for (double mu : rec.eigenvalues) eig.push_back(mu);
   j["eigenvalues"] = std::move(eig);
@@ -115,6 +131,7 @@ Json to_json(const rpa::RpaResult& res) {
   j["e_rpa"] = res.e_rpa;
   j["e_rpa_per_atom"] = res.e_rpa_per_atom;
   j["converged"] = res.converged;
+  j["degraded"] = res.degraded;
   j["total_seconds"] = res.total_seconds;
   Json per_omega = Json::array();
   for (const rpa::OmegaRecord& rec : res.per_omega)

@@ -193,10 +193,20 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
   la::Matrix<double> v(n, m);
   for (std::size_t j = 0; j < m; ++j) rng.fill_uniform(v.col(j));
 
+  // Fault injection can be restricted to one quadrature point; toggle the
+  // operator's fault mode per point against the requested configuration.
+  const solver::FaultMode requested_fault = ropts.stern.fault.mode;
+
   WallTimer total;
   for (int k = 0; k < ropts.ell; ++k) {
     const rpa::QuadPoint& q = quad[static_cast<std::size_t>(k)];
     st.omega = q.omega;
+    if (requested_fault != solver::FaultMode::kNone)
+      op.chi0().options().fault.mode =
+          (ropts.fault_omega < 0 || ropts.fault_omega == k)
+              ? requested_fault
+              : solver::FaultMode::kNone;
+    const long quarantined_before = result.rpa.stern.quarantined_columns;
     const double tol =
         ropts.tol_eig.empty()
             ? 5e-4
@@ -240,6 +250,18 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
     rec.converged = rr.error <= tol;
     rec.eigenvalues = rr.values;
     rpa::accumulate_trace_terms(rr.values, k, rec, &result.rpa.events);
+    rec.quarantined_columns =
+        result.rpa.stern.quarantined_columns - quarantined_before;
+    if (rec.quarantined_columns > 0) {
+      rec.converged = false;
+      result.rpa.degraded = true;
+      result.rpa.events.emit(
+          obs::events::kQuadPointDegraded,
+          "quadrature point computed with quarantined Sternheimer columns",
+          {{"omega_index", static_cast<double>(k)},
+           {"quarantined_columns",
+            static_cast<double>(rec.quarantined_columns)}});
+    }
     rec.seconds = omega_timer.seconds();
     result.rpa.e_rpa += q.weight * rec.e_term / (2.0 * M_PI);
     result.rpa.converged = result.rpa.converged && rec.converged;

@@ -1,7 +1,9 @@
 #include "rpa/chi0.hpp"
 
+#include "common/rng.hpp"
 #include "sched/parallel_for.hpp"
 #include "solver/galerkin_guess.hpp"
+#include "solver/resilience.hpp"
 
 namespace rsrpa::rpa {
 
@@ -24,6 +26,10 @@ void SternheimerStats::merge(const solver::DynamicBlockReport& rep) {
   matvec_columns += rep.total_matvec_columns;
   seconds += rep.total_seconds;
   all_converged = all_converged && rep.all_converged;
+  restarts += rep.total_restarts;
+  deflations += rep.total_deflations;
+  solver_swaps += rep.total_solver_swaps;
+  quarantined_columns += static_cast<long>(rep.quarantined_columns.size());
 }
 
 void SternheimerStats::merge(const SternheimerStats& other) {
@@ -33,6 +39,10 @@ void SternheimerStats::merge(const SternheimerStats& other) {
   matvec_columns += other.matvec_columns;
   seconds += other.seconds;
   all_converged = all_converged && other.all_converged;
+  restarts += other.restarts;
+  deflations += other.deflations;
+  solver_swaps += other.solver_swaps;
+  quarantined_columns += other.quarantined_columns;
 }
 
 Chi0Applier::Chi0Applier(const dft::KsSystem& sys, SternheimerOptions opts)
@@ -53,9 +63,12 @@ void Chi0Applier::apply(const la::Matrix<double>& v, la::Matrix<double>& out,
   solver::DynamicBlockOptions dopts;
   dopts.solver.tol = opts_.tol;
   dopts.solver.max_iter = opts_.max_iter;
+  dopts.solver.stagnation_window = opts_.stagnation_window;
+  dopts.solver.stagnation_factor = opts_.stagnation_factor;
   dopts.enabled = opts_.dynamic_block;
   dopts.fixed_block = opts_.fixed_block;
   dopts.max_block = opts_.max_block;
+  dopts.resilience = opts_.resilience;
   dopts.events = events != nullptr ? events : opts_.events;
 
   out.zero();
@@ -95,6 +108,17 @@ void Chi0Applier::apply(const la::Matrix<double>& v, la::Matrix<double>& out,
                                               la::Matrix<la::cplx>& o) {
       h.apply_shifted_block(in, o, lambda, omega);
     };
+    if (opts_.fault.mode != solver::FaultMode::kNone &&
+        (opts_.fault.orbital < 0 ||
+         static_cast<std::size_t>(opts_.fault.orbital) == j)) {
+      // One wrapper per (call, orbital): its apply counter starts at zero
+      // for every Sternheimer solve and the stream is derived from the
+      // orbital index, so fault placement is independent of the thread
+      // schedule and of other orbitals' iteration counts.
+      solver::FaultInjectionOptions fopts = opts_.fault;
+      fopts.seed = Rng(opts_.fault.seed).derive(j).seed();
+      op = solver::FaultInjectingOp(std::move(op), fopts);
+    }
     solver::DynamicBlockReport rep = solver::solve_dynamic_block(op, b, y, dopts);
     if (stats != nullptr) stats->merge(rep);
 

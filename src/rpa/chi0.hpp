@@ -31,6 +31,19 @@ struct SternheimerOptions {
   int fixed_block = 1;        ///< used when dynamic_block is false
   int max_block = 0;          ///< n_eig / p cap; 0 = unlimited
   bool galerkin_guess = true; ///< Eq. (13) on/off (ablation A3)
+  /// Breakdown-recovery ladder policy for every block solve
+  /// (solver/resilience.hpp): restart -> deflate -> swap -> quarantine.
+  solver::ResilienceOptions resilience;
+  /// Deterministic fault injection into the Sternheimer operator (tests /
+  /// chaos drills). mode = kNone leaves the operator unwrapped; otherwise
+  /// a FaultInjectingOp is installed per occupied orbital, seeded from
+  /// fault.seed and the orbital index so results are bitwise reproducible
+  /// at any thread count.
+  solver::FaultInjectionOptions fault;
+  /// Stagnation detection handed to the solvers: breakdown when the
+  /// residual fails to improve over this many iterations (0 = off).
+  int stagnation_window = 0;
+  double stagnation_factor = 0.99;
   /// Optional telemetry sink threaded down to the dynamic-block solver;
   /// the RPA drivers point it at their result's event log. Not owned.
   obs::EventLog* events = nullptr;
@@ -44,6 +57,11 @@ struct SternheimerStats {
   long matvec_columns = 0;
   double seconds = 0.0;
   bool all_converged = true;
+  // Recovery-ladder totals (solver/resilience.hpp).
+  long restarts = 0;
+  long deflations = 0;
+  long solver_swaps = 0;
+  long quarantined_columns = 0;
 
   void merge(const solver::DynamicBlockReport& rep);
   void merge(const SternheimerStats& other);

@@ -58,9 +58,19 @@ RpaResult compute_rpa_energy(const dft::KsSystem& sys,
   la::Matrix<double> v(sys.n_grid(), opts.n_eig);
   for (std::size_t j = 0; j < opts.n_eig; ++j) rng.fill_uniform(v.col(j));
 
+  // Fault injection can be restricted to one quadrature point; toggle the
+  // operator's fault mode per point against the requested configuration.
+  const solver::FaultMode requested_fault = opts.stern.fault.mode;
+
   for (int k = 0; k < opts.ell; ++k) {
     const QuadPoint& q = quad[static_cast<std::size_t>(k)];
     WallTimer omega_timer;
+
+    if (requested_fault != solver::FaultMode::kNone)
+      op.chi0().options().fault.mode =
+          (opts.fault_omega < 0 || opts.fault_omega == k)
+              ? requested_fault
+              : solver::FaultMode::kNone;
 
     if (!opts.warm_start && k > 0)
       for (std::size_t j = 0; j < opts.n_eig; ++j) rng.fill_uniform(v.col(j));
@@ -73,6 +83,7 @@ RpaResult compute_rpa_energy(const dft::KsSystem& sys,
     sopts.max_filter_iter = opts.max_filter_iter;
     sopts.cheb_degree = opts.cheb_degree;
 
+    const long quarantined_before = result.stern.quarantined_columns;
     SubspaceResult sub = subspace_iteration(op, q.omega, v, sopts,
                                             &result.stern, &result.timers,
                                             &result.events);
@@ -85,6 +96,22 @@ RpaResult compute_rpa_energy(const dft::KsSystem& sys,
     rec.converged = sub.converged;
     rec.eigenvalues = sub.eigenvalues;
     accumulate_trace_terms(sub.eigenvalues, k, rec, &result.events);
+    rec.quarantined_columns =
+        result.stern.quarantined_columns - quarantined_before;
+    if (rec.quarantined_columns > 0) {
+      // The point's trace terms were computed from solves where the
+      // quarantined columns still hold their initial guesses: finite, but
+      // degraded. Flag it and keep going — one bad point must not kill
+      // the quadrature.
+      rec.converged = false;
+      result.degraded = true;
+      result.events.emit(
+          obs::events::kQuadPointDegraded,
+          "quadrature point computed with quarantined Sternheimer columns",
+          {{"omega_index", static_cast<double>(k)},
+           {"quarantined_columns",
+            static_cast<double>(rec.quarantined_columns)}});
+    }
     rec.seconds = omega_timer.seconds();
     result.e_rpa += q.weight * rec.e_term / (2.0 * M_PI);
     result.converged = result.converged && rec.converged;

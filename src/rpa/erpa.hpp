@@ -30,6 +30,10 @@ struct RpaOptions {
   SternheimerOptions stern;  ///< TOL_STERN_RES etc.
   bool warm_start = true;    ///< reuse eigenvectors across omega (SS III-F)
   std::uint64_t seed = 0x5ca1ab1e;
+  /// When stern.fault.mode != kNone, restrict the injection to this
+  /// quadrature-point index; -1 injects at every point. Lets the fault
+  /// suite poison exactly one omega and check the rest stay clean.
+  int fault_omega = -1;
 };
 
 struct OmegaRecord {
@@ -45,6 +49,11 @@ struct OmegaRecord {
   /// non-converged but the run continues (see accumulate_trace_terms).
   int invalid_terms = 0;
   double worst_mu = 0.0;
+  /// Sternheimer columns quarantined by the recovery ladder while working
+  /// on this point. > 0 marks the point degraded: its e_term was computed
+  /// from solves where the quarantined columns still hold their initial
+  /// guesses, so the point is non-converged but the run completes.
+  long quarantined_columns = 0;
   std::vector<double> eigenvalues;  ///< converged Ritz values (ascending)
 };
 
@@ -52,6 +61,9 @@ struct RpaResult {
   double e_rpa = 0.0;           ///< total correlation energy (Ha)
   double e_rpa_per_atom = 0.0;  ///< filled by the caller via finalize()
   bool converged = true;        ///< all quadrature points converged
+  /// Any quadrature point had quarantined Sternheimer columns; E_RPA is
+  /// finite but carries the degraded points' approximation error.
+  bool degraded = false;
   std::vector<OmegaRecord> per_omega;
   KernelTimers timers;          ///< Fig. 5 kernel breakdown
   SternheimerStats stern;       ///< Table IV statistics

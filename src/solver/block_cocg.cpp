@@ -12,6 +12,42 @@ namespace {
 
 bool is_finite(double x) { return std::isfinite(x); }
 
+// Shared stagnation probe (SolverOptions::stagnation_window). Tracks the
+// best residual seen; when `window` consecutive iterations fail to improve
+// on it by `factor`, the solve is declared broken down so the recovery
+// ladder can take over instead of spinning to max_iter. Purely
+// observational: it never alters the iteration's numerics.
+class StagnationProbe {
+ public:
+  StagnationProbe(const SolverOptions& opts, double initial_relres)
+      : window_(opts.stagnation_window),
+        factor_(opts.stagnation_factor),
+        best_(initial_relres) {}
+
+  void check(double relres, const char* solver_name) {
+    if (window_ <= 0) return;
+    if (relres <= factor_ * best_) {
+      best_ = relres;
+      count_ = 0;
+      return;
+    }
+    if (++count_ >= window_) {
+      char msg[128];
+      std::snprintf(msg, sizeof msg,
+                    "%s: stagnation (relative residual %.3e not improving "
+                    "over %d iterations)",
+                    solver_name, relres, window_);
+      throw NumericalBreakdown(msg);
+    }
+  }
+
+ private:
+  int window_;
+  double factor_;
+  double best_;
+  int count_ = 0;
+};
+
 }  // namespace
 
 SolveReport block_cocg(const BlockOpC& a, const la::Matrix<cplx>& b,
@@ -60,6 +96,7 @@ SolveReport block_cocg(const BlockOpC& a, const la::Matrix<cplx>& b,
   }
 
   double prev_relres = rep.relative_residual;
+  StagnationProbe stagnation(opts, rep.relative_residual);
   for (int it = 0; it < opts.max_iter; ++it) {
     // P_j = W_j + P_{j-1} beta_{j-1}.
     if (have_p) {
@@ -109,6 +146,7 @@ SolveReport block_cocg(const BlockOpC& a, const la::Matrix<cplx>& b,
       throw NumericalBreakdown(msg);
     }
     prev_relres = rep.relative_residual;
+    stagnation.check(rep.relative_residual, "block COCG");
 
     // rho_{j+1} = W^T W;  beta_j = rho_j^{-1} rho_{j+1}.
     la::gemm_tn(cplx{1}, w, w, cplx{0}, rho_new);
@@ -156,6 +194,8 @@ SolveReport cocg(const BlockOpC& a, std::span<const cplx> b, std::span<cplx> y,
 
   cplx beta{};
   bool have_p = false;
+  double prev_relres = rep.relative_residual;
+  StagnationProbe stagnation(opts, rep.relative_residual);
   for (int it = 0; it < opts.max_iter; ++it) {
     if (have_p) {
       for (std::size_t i = 0; i < n; ++i) p[i] = w[i] + beta * p[i];
@@ -165,9 +205,14 @@ SolveReport cocg(const BlockOpC& a, std::span<const cplx> b, std::span<cplx> y,
     }
     apply(p, u);
     const cplx mu = la::dot_u(u, p);
-    if (std::abs(mu) < opts.breakdown_tol * la::nrm2(std::span<const cplx>(u)) *
-                           la::nrm2(std::span<const cplx>(p)))
-      throw NumericalBreakdown("COCG: conjugacy scalar vanished");
+    // A tiny conjugacy scalar is AMBIGUOUS — genuine breakdown or benign
+    // exact termination — exactly like a tiny pivot ratio in the block
+    // path above. Mirror it: take the step either way and decide from the
+    // residual it produces.
+    const bool mu_suspect =
+        std::abs(mu) < opts.breakdown_tol *
+                           la::nrm2(std::span<const cplx>(u)) *
+                           la::nrm2(std::span<const cplx>(p));
     const cplx alpha = rho / mu;
     for (std::size_t i = 0; i < n; ++i) {
       y[i] += alpha * p[i];
@@ -182,6 +227,16 @@ SolveReport cocg(const BlockOpC& a, std::span<const cplx> b, std::span<cplx> y,
       rep.converged = true;
       return rep;
     }
+    if (mu_suspect && rep.relative_residual >= prev_relres) {
+      char msg[128];
+      std::snprintf(msg, sizeof msg,
+                    "COCG: conjugacy breakdown (|mu| = %.3e, residual did "
+                    "not decrease at iteration %d)",
+                    std::abs(mu), it);
+      throw NumericalBreakdown(msg);
+    }
+    prev_relres = rep.relative_residual;
+    stagnation.check(rep.relative_residual, "COCG");
     const cplx rho_new = la::dot_u(w, w);
     beta = rho_new / rho;
     rho = rho_new;

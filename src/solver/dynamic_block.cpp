@@ -5,6 +5,7 @@
 #include "common/timer.hpp"
 #include "obs/event_log.hpp"
 #include "solver/block_cocg.hpp"
+#include "solver/resilience.hpp"
 
 namespace rsrpa::solver {
 
@@ -16,14 +17,15 @@ std::map<int, int> DynamicBlockReport::block_size_counts() const {
 
 namespace {
 
-// Solve one chunk of columns [pos, pos + count) with block COCG, falling
-// back to column-by-column COCG if the block method breaks down (linearly
-// dependent residual block).
+// Solve one chunk of columns [pos, pos + count) through the breakdown
+// recovery ladder (solver/resilience.hpp). Every outcome — including a
+// rethrown breakdown when the ladder is disabled or exhausted with
+// quarantine off — is recorded in the report first, so no chunk's timing
+// or accounting is ever dropped on the unwind.
 ChunkRecord solve_chunk(const BlockOpC& a, const la::Matrix<cplx>& b,
                         la::Matrix<cplx>& y, std::size_t pos,
                         std::size_t count, const DynamicBlockOptions& opts,
                         DynamicBlockReport& rep) {
-  const SolverOptions& sopts = opts.solver;
   ChunkRecord rec;
   rec.block_size = static_cast<int>(count);
   rec.n_rhs = static_cast<int>(count);
@@ -31,37 +33,43 @@ ChunkRecord solve_chunk(const BlockOpC& a, const la::Matrix<cplx>& b,
   WallTimer timer;
   la::Matrix<cplx> bchunk = b.slice_cols(pos, count);
   la::Matrix<cplx> ychunk = y.slice_cols(pos, count);
+
+  auto record = [&](bool rethrowing) {
+    rep.total_matvec_columns += rec.matvec_columns;
+    rec.seconds = timer.seconds();
+    rep.total_seconds += rec.seconds;
+    rep.total_restarts += rec.restarts;
+    rep.total_deflations += rec.deflations;
+    rep.total_solver_swaps += rec.solver_swaps;
+    rep.all_converged = rep.all_converged && rec.converged && !rethrowing;
+    rep.chunks.push_back(rec);
+  };
+
   try {
-    SolveReport r = block_cocg(a, bchunk, ychunk, sopts);
-    rec.iterations = r.iterations;
-    rec.converged = r.converged;
-    rec.matvec_columns = r.matvec_columns;
-  } catch (const NumericalBreakdown& breakdown) {
-    // Deflation path: re-solve each column independently from the original
-    // initial guess.
+    ResilientSolveResult r = resilient_block_solve(
+        a, bchunk, ychunk, opts.solver, opts.resilience, pos, opts.events);
+    rec.iterations = r.report.iterations;
+    rec.converged = r.report.converged;
+    rec.matvec_columns = r.report.matvec_columns;
+    rec.restarts = r.restarts;
+    rec.deflations = r.deflations;
+    rec.solver_swaps = r.solver_swaps;
+    rec.quarantined = static_cast<int>(r.quarantined.size());
+    rec.fallback = rec.deflations > 0 || rec.solver_swaps > 0;
+    rep.quarantined_columns.insert(rep.quarantined_columns.end(),
+                                   r.quarantined.begin(), r.quarantined.end());
+  } catch (const NumericalBreakdown&) {
+    // Only reachable with resilience disabled (or quarantine switched
+    // off). Record the chunk as failed — timing and position survive in
+    // the report even though the exception propagates.
+    rec.converged = false;
     rec.fallback = true;
-    if (opts.events != nullptr)
-      opts.events->emit(obs::events::kSingleColumnFallback, breakdown.what(),
-                        {{"position", static_cast<double>(pos)},
-                         {"block_size", static_cast<double>(count)}});
-    ychunk = y.slice_cols(pos, count);
-    rec.converged = true;
-    for (std::size_t j = 0; j < count; ++j) {
-      la::Matrix<cplx> b1 = b.slice_cols(pos + j, 1);
-      la::Matrix<cplx> y1 = ychunk.slice_cols(j, 1);
-      SolveReport r = block_cocg(a, b1, y1, sopts);
-      ychunk.set_cols(j, y1);
-      rec.iterations = std::max(rec.iterations, r.iterations);
-      rec.converged = rec.converged && r.converged;
-      rec.matvec_columns += r.matvec_columns;
-    }
+    y.set_cols(pos, ychunk);
+    record(/*rethrowing=*/true);
+    throw;
   }
-  rep.total_matvec_columns += rec.matvec_columns;
   y.set_cols(pos, ychunk);
-  rec.seconds = timer.seconds();
-  rep.total_seconds += rec.seconds;
-  rep.all_converged = rep.all_converged && rec.converged;
-  rep.chunks.push_back(rec);
+  record(/*rethrowing=*/false);
   return rec;
 }
 
@@ -93,34 +101,57 @@ DynamicBlockReport solve_dynamic_block(const BlockOpC& a,
   }
 
   // Algorithm 4. Probe s = 1, then s = 2, doubling while the chunk time
-  // at most doubles (per-vector time non-increasing).
+  // at most doubles (per-vector time non-increasing). A chunk that needed
+  // recovery (restart, deflation, solver swap, quarantine) reports the
+  // wall time of the recovery work, not of a representative block solve,
+  // so it never feeds the timing probe — a poisoned probe would skew the
+  // doubling decision for the rest of the batch. On a clean run the chunk
+  // sequence below is identical to the pre-ladder code path.
   std::size_t s = 1;
-  ChunkRecord first = solve_chunk(a, b, y, pos, std::min<std::size_t>(1, n_rhs - pos),
-                                  opts, rep);
-  pos += static_cast<std::size_t>(first.n_rhs);
-  double t_old = first.seconds;
+  double t_old = -1.0;
+  while (pos < n_rhs) {
+    ChunkRecord first = solve_chunk(a, b, y, pos, 1, opts, rep);
+    pos += static_cast<std::size_t>(first.n_rhs);
+    if (!first.recovered()) {
+      t_old = first.seconds;
+      break;
+    }
+  }
 
-  if (pos < n_rhs && cap >= 2) {
+  if (t_old >= 0.0 && pos < n_rhs && cap >= 2) {
     s = 2;
-    ChunkRecord second =
-        solve_chunk(a, b, y, pos, std::min<std::size_t>(2, n_rhs - pos),
-                    opts, rep);
-    pos += static_cast<std::size_t>(second.n_rhs);
-    double t_new = second.seconds;
-
+    double t_new = -1.0;
     while (pos < n_rhs) {
-      if (t_new <= 2.0 * t_old && 2 * s <= cap) {
-        s *= 2;
-        t_old = t_new;
-        const std::size_t count = std::min(s, n_rhs - pos);
-        ChunkRecord rec = solve_chunk(a, b, y, pos, count, opts, rep);
-        pos += count;
-        t_new = rec.seconds;
-        // A short tail chunk is not a fair probe; stop growing after it.
-        if (count < s) break;
-      } else {
-        if (t_new > 2.0 * t_old) s = std::max<std::size_t>(1, s / 2);
-        break;
+      const std::size_t count = std::min<std::size_t>(2, n_rhs - pos);
+      ChunkRecord second = solve_chunk(a, b, y, pos, count, opts, rep);
+      pos += static_cast<std::size_t>(second.n_rhs);
+      if (second.recovered()) continue;  // poisoned probe: try again
+      if (second.n_rhs < 2) break;       // short tail is not a fair probe
+      t_new = second.seconds;
+      break;
+    }
+
+    if (t_new >= 0.0) {
+      while (pos < n_rhs) {
+        if (t_new <= 2.0 * t_old && 2 * s <= cap) {
+          s *= 2;
+          t_old = t_new;
+          const std::size_t count = std::min(s, n_rhs - pos);
+          ChunkRecord rec = solve_chunk(a, b, y, pos, count, opts, rep);
+          pos += count;
+          if (rec.recovered()) {
+            // Unusable timing: revert to the last proven size and stop
+            // growing rather than double on recovery wall time.
+            s /= 2;
+            break;
+          }
+          t_new = rec.seconds;
+          // A short tail chunk is not a fair probe; stop growing after it.
+          if (count < s) break;
+        } else {
+          if (t_new > 2.0 * t_old) s = std::max<std::size_t>(1, s / 2);
+          break;
+        }
       }
     }
   }

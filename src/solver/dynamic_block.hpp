@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "solver/operator.hpp"
+#include "solver/resilience.hpp"
 
 namespace rsrpa::obs {
 class EventLog;
@@ -30,7 +31,20 @@ struct ChunkRecord {
   long matvec_columns = 0;  ///< single-column operator applications
   double seconds = 0.0;
   bool converged = false;
-  bool fallback = false;  ///< block breakdown -> solved column-by-column
+  bool fallback = false;  ///< recovery ladder engaged below the block solve
+  // Recovery-ladder accounting (solver/resilience.hpp), per chunk.
+  int restarts = 0;      ///< rung-1 residual-replacement restarts
+  int deflations = 0;    ///< rung-2 block halvings
+  int solver_swaps = 0;  ///< rung-3 alternative-solver attempts
+  int quarantined = 0;   ///< rung-4 columns given up on
+
+  /// True when any rung of the recovery ladder fired. Recovered chunks
+  /// report the wall time of the recovery work, not of a representative
+  /// block solve, so Algorithm 4 excludes them from its timing probes.
+  [[nodiscard]] bool recovered() const {
+    return fallback || restarts > 0 || deflations > 0 || solver_swaps > 0 ||
+           quarantined > 0;
+  }
 };
 
 struct DynamicBlockReport {
@@ -38,6 +52,12 @@ struct DynamicBlockReport {
   long total_matvec_columns = 0;
   double total_seconds = 0.0;
   bool all_converged = true;
+  // Recovery-ladder totals over all chunks.
+  long total_restarts = 0;
+  long total_deflations = 0;
+  long total_solver_swaps = 0;
+  /// Global column indices quarantined by rung 4 (empty on clean runs).
+  std::vector<long> quarantined_columns;
 
   /// Table IV histogram: chunk count per selected block size.
   [[nodiscard]] std::map<int, int> block_size_counts() const;
@@ -48,8 +68,13 @@ struct DynamicBlockOptions {
   int max_block = 0;  ///< 0 = unlimited; paper caps at n_eig / p
   bool enabled = true;  ///< false = fixed block size fixed_block
   int fixed_block = 1;
-  /// Optional event sink: single-column fallbacks (block COCG breakdown)
-  /// are recorded here with their chunk position and size. Not owned.
+  /// Breakdown-recovery ladder policy (restart -> deflate -> swap ->
+  /// quarantine). resilience.enabled = false restores the legacy behavior
+  /// where an unrecovered breakdown propagates out of the solve.
+  ResilienceOptions resilience;
+  /// Optional event sink: recovery-ladder events (breakdowns, restarts,
+  /// deflations, solver swaps, quarantines) are recorded here with their
+  /// chunk position and size. Not owned.
   obs::EventLog* events = nullptr;
 };
 

@@ -23,6 +23,12 @@ struct SolverOptions {
   double tol = 1e-10;             ///< relative Frobenius residual (Eq. 10)
   double breakdown_tol = 1e-14;   ///< pivot-ratio floor for s x s solves
   bool record_history = false;    ///< store per-iteration relative residuals
+  /// Stagnation detection: if > 0, COCG throws NumericalBreakdown when the
+  /// relative residual fails to improve by stagnation_factor over this
+  /// many consecutive iterations, handing control to the recovery ladder
+  /// (solver/resilience.hpp) instead of spinning to max_iter. 0 = off.
+  int stagnation_window = 0;
+  double stagnation_factor = 0.99;  ///< required improvement per window
 };
 
 struct SolveReport {

@@ -1,6 +1,8 @@
 // Tests for the binary snapshot I/O (the SPARC -> RPA handoff format).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -16,7 +18,11 @@ namespace {
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "rsrpa_io_test";
+    // One directory per test process: ctest runs the cases of this suite
+    // concurrently, and a shared path would let one process's TearDown
+    // delete another's files mid-test.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rsrpa_io_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -47,6 +53,38 @@ TEST_F(IoTest, BadMagicThrows) {
   out << "GARBAGE!" << std::string(64, '\0');
   out.close();
   EXPECT_THROW(load_matrix(path("bad.bin")), Error);
+}
+
+TEST_F(IoTest, OverflowingShapeHeaderThrows) {
+  // Regression: rows = cols = 2^33 made the old `rows * cols < 2^34`
+  // plausibility check wrap to 0 mod 2^64 and pass, turning a corrupt
+  // header into a giant allocation. Each dimension (and their product)
+  // is now validated on its own.
+  std::ofstream out(path("wrap.bin"), std::ios::binary);
+  out << "RSRPAB01";
+  const std::uint64_t dim = 1ull << 33;
+  for (int k = 0; k < 2; ++k)
+    for (int byte = 0; byte < 8; ++byte)
+      out.put(static_cast<char>((dim >> (8 * byte)) & 0xff));
+  out.close();
+  EXPECT_THROW(load_matrix(path("wrap.bin")), Error);
+}
+
+TEST_F(IoTest, ZeroShapeHeaderThrows) {
+  std::ofstream out(path("zero.bin"), std::ios::binary);
+  out << "RSRPAB01" << std::string(16, '\0');  // rows = cols = 0
+  out.close();
+  EXPECT_THROW(load_matrix(path("zero.bin")), Error);
+}
+
+TEST_F(IoTest, TruncatedShapeHeaderThrows) {
+  // Regression: read_u64 at EOF used to yield 0 silently; a file cut off
+  // mid-header must fail on the stream state, not parse zeros.
+  std::ofstream out(path("cut.bin"), std::ios::binary);
+  out << "RSRPAB01";
+  for (int byte = 0; byte < 4; ++byte) out.put('\x01');  // half a u64
+  out.close();
+  EXPECT_THROW(load_matrix(path("cut.bin")), Error);
 }
 
 TEST_F(IoTest, TruncatedPayloadThrows) {

@@ -217,9 +217,9 @@ TEST(RunReport, SolveReportSerializesHistory) {
   EXPECT_DOUBLE_EQ(j.at("history").as_array()[2].as_double(), 3e-11);
 }
 
-// The ISSUE's acceptance case: a dynamic-block run with a real
-// single-column fallback, its histogram, and its events, all surviving the
-// writer -> parser round trip.
+// The ISSUE's acceptance case: a dynamic-block run with a real recovery
+// (the ladder deflating a rank-deficient block), its histogram, and its
+// events, all surviving the writer -> parser round trip.
 TEST(RunReport, DynamicBlockReportAndEventsRoundTripThroughWriter) {
   Rng rng(4);
   const std::size_t n = 30;
@@ -250,7 +250,8 @@ TEST(RunReport, DynamicBlockReportAndEventsRoundTripThroughWriter) {
   };
   const solver::DynamicBlockReport rep =
       solver::solve_dynamic_block(op, b, y, opts);
-  ASSERT_EQ(elog.count(events::kSingleColumnFallback), 1u);
+  // Full block deflates to halves, the duplicate pair deflates to singles.
+  ASSERT_EQ(elog.count(events::kBlockDeflation), 2u);
 
   RunReport report("dynamic_block_roundtrip");
   report.set("solve", to_json(rep));
@@ -275,12 +276,19 @@ TEST(RunReport, DynamicBlockReportAndEventsRoundTripThroughWriter) {
   EXPECT_EQ(back.at("solve").at("fallback_chunks").as_int(), 1);
   EXPECT_EQ(back.at("solve").at("total_matvec_columns").as_int(),
             rep.total_matvec_columns);
+  EXPECT_EQ(back.at("solve").at("total_deflations").as_int(), 2);
+  EXPECT_EQ(back.at("solve").at("total_restarts").as_int(), 0);
+  EXPECT_EQ(back.at("solve").at("quarantined_columns").as_array().size(), 0u);
 
-  // And the fallback event comes back intact.
+  // And the recovery events come back intact.
   const EventLog back_events = event_log_from_json(back.at("events"));
-  ASSERT_EQ(back_events.count(events::kSingleColumnFallback), 1u);
-  EXPECT_EQ(back_events.events()[0].fields[1].first, "block_size");
-  EXPECT_DOUBLE_EQ(back_events.events()[0].fields[1].second, 4.0);
+  ASSERT_EQ(back_events.count(events::kBlockDeflation), 2u);
+  for (const Event& e : back_events.events()) {
+    if (e.kind != events::kBlockDeflation) continue;
+    EXPECT_EQ(e.fields[1].first, "block_size");
+    EXPECT_DOUBLE_EQ(e.fields[1].second, 4.0);
+    break;
+  }
 }
 
 TEST(RunReport, OmegaRecordReportsDomainViolations) {

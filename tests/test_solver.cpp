@@ -161,6 +161,59 @@ TEST(BlockCocg, SingleRhsHistoryAndMatvecsMatchCocg) {
         << "histories diverge at iteration " << k;
 }
 
+TEST(Cocg, SuspectMuAloneDoesNotAbortAConvergingSolve) {
+  // Regression: the scalar path used to throw the moment |mu| fell under
+  // the breakdown floor, even when the step it guarded was fine. It now
+  // mirrors the block path's take-the-step-then-decide probe. For this
+  // seed the smallest conjugacy ratio |mu| / (|u||p|) of the whole solve,
+  // 1.39e-2 at iteration 19, belongs to a step whose residual DECREASES —
+  // so a floor of 1.5e-2 flags it (the old code aborted here) while the
+  // probe lets the solve run to convergence. And since the probe only
+  // observes, the iteration is bit-for-bit the one the default floor
+  // produces.
+  Rng rng(23);
+  const std::size_t n = 35;
+  Matrix<cplx> a = random_complex_symmetric(n, rng, cplx{7.0, 1.5});
+  Matrix<cplx> b = random_cblock(n, 1, rng);
+  std::vector<cplx> bb(n);
+  for (std::size_t i = 0; i < n; ++i) bb[i] = b(i, 0);
+
+  SolverOptions opts;
+  opts.tol = 1e-11;
+  opts.record_history = true;
+
+  std::vector<cplx> y_ref(n, cplx{});
+  SolveReport ref = cocg(dense_op(a), bb, y_ref, opts);
+  ASSERT_TRUE(ref.converged);
+
+  opts.breakdown_tol = 1.5e-2;
+  std::vector<cplx> y(n, cplx{});
+  SolveReport rep = cocg(dense_op(a), bb, y, opts);
+
+  EXPECT_TRUE(rep.converged);
+  EXPECT_EQ(rep.iterations, ref.iterations);
+  ASSERT_EQ(rep.history.size(), ref.history.size());
+  for (std::size_t k = 0; k < rep.history.size(); ++k)
+    EXPECT_EQ(rep.history[k], ref.history[k]) << "iteration " << k;
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(y[i], y_ref[i]) << "entry " << i;
+}
+
+TEST(Cocg, GenuineQuasiNullBreakdownStillThrows) {
+  // A = diag(1, 1, 2), b = (1, i, 1): one step in, the residual becomes a
+  // quasi-null vector (w^T w = 0, w != 0) and the scalar recurrence has
+  // nowhere to go — the softened probe must still raise the breakdown.
+  Matrix<cplx> a(3, 3);
+  a(0, 0) = cplx{1.0, 0.0};
+  a(1, 1) = cplx{1.0, 0.0};
+  a(2, 2) = cplx{2.0, 0.0};
+  std::vector<cplx> b = {cplx{1.0, 0.0}, cplx{0.0, 1.0}, cplx{1.0, 0.0}};
+  std::vector<cplx> y(3, cplx{});
+  SolverOptions opts;
+  opts.tol = 1e-12;
+  EXPECT_THROW(cocg(dense_op(a), b, y, opts), NumericalBreakdown);
+}
+
 TEST(BlockCocg, LargerBlocksNeedNoMoreIterations) {
   // O'Leary: block Krylov convergence (in iterations) improves — or at
   // least does not degrade — with block size on a hard indefinite system.
@@ -532,15 +585,31 @@ TEST(DynamicBlock, FallsBackOnDependentColumns) {
   EXPECT_TRUE(rep.all_converged);
   ASSERT_EQ(rep.chunks.size(), 1u);
   EXPECT_TRUE(rep.chunks[0].fallback);
-  // The fallback is reported as a structured event carrying the chunk
-  // position and size.
-  ASSERT_EQ(events.count(obs::events::kSingleColumnFallback), 1u);
-  const obs::Event& ev = events.events().front();
-  ASSERT_EQ(ev.fields.size(), 2u);
-  EXPECT_EQ(ev.fields[0].first, "position");
-  EXPECT_DOUBLE_EQ(ev.fields[0].second, 0.0);
-  EXPECT_EQ(ev.fields[1].first, "block_size");
-  EXPECT_DOUBLE_EQ(ev.fields[1].second, 4.0);
+  // The recovery ladder deflates the rank-deficient 4-block twice: once
+  // at the full block, once at the duplicate pair. The initial-residual
+  // breakdown touches no state, so no restart is attempted, and the
+  // surviving single columns converge without a solver swap.
+  EXPECT_EQ(rep.chunks[0].deflations, 2);
+  EXPECT_EQ(rep.chunks[0].restarts, 0);
+  EXPECT_EQ(rep.chunks[0].solver_swaps, 0);
+  EXPECT_EQ(rep.chunks[0].quarantined, 0);
+  EXPECT_TRUE(rep.quarantined_columns.empty());
+  // Each rung fires as a structured event carrying the chunk position and
+  // size; the first deflation covers the whole 4-block.
+  EXPECT_EQ(events.count(obs::events::kSolverBreakdown), 2u);
+  ASSERT_EQ(events.count(obs::events::kBlockDeflation), 2u);
+  const obs::Event* deflation = nullptr;
+  for (const obs::Event& e : events.events())
+    if (e.kind == obs::events::kBlockDeflation) {
+      deflation = &e;
+      break;
+    }
+  ASSERT_NE(deflation, nullptr);
+  ASSERT_EQ(deflation->fields.size(), 2u);
+  EXPECT_EQ(deflation->fields[0].first, "position");
+  EXPECT_DOUBLE_EQ(deflation->fields[0].second, 0.0);
+  EXPECT_EQ(deflation->fields[1].first, "block_size");
+  EXPECT_DOUBLE_EQ(deflation->fields[1].second, 4.0);
   Matrix<cplx> x_ref = la::lu_solve(a, b);
   EXPECT_LT(block_error(y, x_ref), 1e-7);
 }
