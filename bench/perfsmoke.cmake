@@ -1,0 +1,11 @@
+# ctest driver for the perfsmoke label: run one bench binary, then diff
+# its JSON report against the checked-in baseline (see CMakeLists.txt).
+execute_process(COMMAND ${BENCH_EXE} RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench exited with ${bench_rc}")
+endif()
+execute_process(COMMAND ${PYTHON} ${COMPARE} ${FRESH} ${BASELINE}
+                RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+  message(FATAL_ERROR "baseline comparison failed (${cmp_rc})")
+endif()

@@ -11,9 +11,13 @@ namespace rsrpa::dft {
 
 void chebyshev_filter(const ham::Hamiltonian& h, la::Matrix<double>& v,
                       int degree, double a, double b, double a0) {
-  solver::chebyshev_filter_op(
-      [&h](const la::Matrix<double>& in, la::Matrix<double>& out) {
-        h.apply_block<double>(in, out);
+  // Fused three-term binding: the polynomial scalars fold into the
+  // Hamiltonian's single-sweep kernel, so each filter step is one memory
+  // pass per column plus the block nonlocal update.
+  solver::chebyshev_filter_fused(
+      [&h](const la::Matrix<double>& in, la::Matrix<double>& out, double c1,
+           double c0, const la::Matrix<double>* extra, double c2) {
+        h.apply_poly_block<double>(in, out, c1, c0, extra, c2);
       },
       v, degree, a, b, a0);
 }

@@ -2,8 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 
 namespace rsrpa::grid {
+
+namespace {
+
+std::size_t env_tile(const char* name, std::size_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || v <= 0) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+bool fused_apply_enabled() {
+  static const bool on = [] {
+    const char* s = std::getenv("RSRPA_FUSED_APPLY");
+    return s == nullptr || std::string_view(s) != "0";
+  }();
+  return on;
+}
+
+std::size_t fused_tile_y() {
+  static const std::size_t v = env_tile("RSRPA_TILE_Y", 32);
+  return v;
+}
+
+std::size_t fused_tile_z() {
+  static const std::size_t v = env_tile("RSRPA_TILE_Z", 16);
+  return v;
+}
 
 double StencilLaplacian::min_eigenvalue_bound() const {
   // The periodic FD Laplacian is separable, so its spectrum is

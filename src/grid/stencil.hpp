@@ -7,19 +7,192 @@
 // (apply_block_simultaneous) is retained solely so the A1 ablation bench
 // can measure the difference the paper argues about.
 //
+// Two execution paths share the class:
+//
+//  * apply_fused — the default hot path. One memory sweep computes
+//    out = alpha * Lap(in) + (beta * vdiag + shift) . in + eta * extra,
+//    which is the whole shifted-Hamiltonian diagonal part (kinetic scale,
+//    local potential, complex Sternheimer shift) and the Chebyshev
+//    three-term update folded into the stencil pass. The traversal is
+//    split into an interior region addressed by direct strided offsets
+//    (no wrap tables, vectorizable) and thin periodic boundary shells
+//    that keep the table lookup, with cache-blocked z/y tiling, threaded
+//    over z chunks via sched::parallel_for_range. Each grid point
+//    performs the exact same floating-point operations at every thread
+//    count, so results are bitwise deterministic (the sched contract).
+//
+//  * apply_reference — the seed per-point wrap-table loop, kept as the
+//    correctness oracle, the A1 ablation baseline, and the
+//    RSRPA_FUSED_APPLY=0 escape hatch.
+//
 // Template methods cover both real grid functions (DFT, Poisson checks)
 // and complex ones (Sternheimer solves): the complex-shifted Hamiltonian
 // applies this operator to complex blocks.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "grid/fd.hpp"
 #include "grid/grid.hpp"
 #include "la/matrix.hpp"
+#include "sched/parallel_for.hpp"
 
 namespace rsrpa::grid {
+
+/// Global escape hatch: false when RSRPA_FUSED_APPLY=0 is set, restoring
+/// the reference wrap-table path everywhere (read once per process).
+[[nodiscard]] bool fused_apply_enabled();
+/// Cache-block extents of the fused sweep (RSRPA_TILE_Y / RSRPA_TILE_Z).
+[[nodiscard]] std::size_t fused_tile_y();
+[[nodiscard]] std::size_t fused_tile_z();
+
+/// Diagonal terms fused into a single stencil sweep:
+///   out = alpha * Lap(in) + (beta * vdiag + shift) . in + eta * extra.
+/// vdiag and extra are optional (nullptr = absent); with the defaults the
+/// sweep degenerates to the plain Laplacian and the epilogue is skipped.
+template <typename T>
+struct FusedTerms {
+  double alpha = 1.0;            ///< scale on the Laplacian sum
+  const double* vdiag = nullptr; ///< real diagonal (the local potential)
+  double beta = 0.0;             ///< scale on vdiag
+  T shift{};                     ///< constant diagonal shift (-lambda + i omega)
+  const T* extra = nullptr;      ///< extra vector (Chebyshev V_{k-1})
+  T eta{};                       ///< scale on extra
+
+  [[nodiscard]] bool identity() const {
+    return alpha == 1.0 && vdiag == nullptr && shift == T{} &&
+           extra == nullptr;
+  }
+};
+
+namespace detail {
+
+// Interior row segment [x0, x1): every neighbor is a direct strided
+// offset from the center point, so the inner loop carries no wrap-table
+// indirection and vectorizes. R > 0 bakes the radius in at compile time
+// (fully unrolled neighbor loop); R == 0 falls back to the runtime r.
+template <typename T, int R>
+inline void stencil_row_interior(const T* in, T* out, std::size_t base,
+                                 std::size_t x0, std::size_t x1, long snx,
+                                 long snxny, int r, const double* cx,
+                                 const double* cy, const double* cz,
+                                 double diag) {
+  // The coefficients stay double (never static_cast to T): scaling a
+  // complex sum by a double is two multiplies, while promoting the
+  // coefficient to complex costs a full complex product per neighbor.
+  const int rr = R > 0 ? R : r;
+  for (std::size_t ix = x0; ix < x1; ++ix) {
+    const T* p = in + base + ix;
+    T sum = diag * p[0];
+    for (int k = 1; k <= rr; ++k) {
+      sum += cx[k] * (p[k] + p[-k]);
+      sum += cy[k] *
+             (p[static_cast<long>(k) * snx] + p[-static_cast<long>(k) * snx]);
+      sum += cz[k] * (p[static_cast<long>(k) * snxny] +
+                      p[-static_cast<long>(k) * snxny]);
+    }
+    out[base + ix] = sum;
+  }
+}
+
+template <typename T>
+using StencilRowFn = void (*)(const T*, T*, std::size_t, std::size_t,
+                              std::size_t, long, long, int, const double*,
+                              const double*, const double*, double);
+
+template <typename T>
+StencilRowFn<T> pick_interior_row(int r) {
+  switch (r) {
+    case 1: return &stencil_row_interior<T, 1>;
+    case 2: return &stencil_row_interior<T, 2>;
+    case 3: return &stencil_row_interior<T, 3>;
+    case 4: return &stencil_row_interior<T, 4>;
+    case 5: return &stencil_row_interior<T, 5>;
+    case 6: return &stencil_row_interior<T, 6>;
+    default: return &stencil_row_interior<T, 0>;
+  }
+}
+
+// x-boundary segment of an interior row: only the x neighbors wrap; y/z
+// stay direct strides. The segments are at most r points on each end.
+template <typename T>
+inline void stencil_row_xwrap(const T* in, T* out, std::size_t base,
+                              std::size_t x0, std::size_t x1, long snx,
+                              long snxny, int r, const std::size_t* wx,
+                              const double* cx, const double* cy,
+                              const double* cz, double diag) {
+  for (std::size_t ix = x0; ix < x1; ++ix) {
+    const T* p = in + base + ix;
+    T sum = diag * p[0];
+    for (int k = 1; k <= r; ++k) {
+      sum += cx[k] * (in[base + wx[static_cast<long>(ix) + k]] +
+                      in[base + wx[static_cast<long>(ix) - k]]);
+      sum += cy[k] *
+             (p[static_cast<long>(k) * snx] + p[-static_cast<long>(k) * snx]);
+      sum += cz[k] * (p[static_cast<long>(k) * snxny] +
+                      p[-static_cast<long>(k) * snxny]);
+    }
+    out[base + ix] = sum;
+  }
+}
+
+// Boundary-shell row: every axis goes through its wrap table (handles any
+// wrap count, including axes shorter than 2r where the shells overlap).
+template <typename T>
+inline void stencil_row_wrapped(const T* in, T* out, std::size_t nx,
+                                std::size_t ny, std::size_t iy, std::size_t iz,
+                                std::size_t base, int r, const std::size_t* wx,
+                                const std::size_t* wy, const std::size_t* wz,
+                                const double* cx, const double* cy,
+                                const double* cz, double diag) {
+  for (std::size_t ix = 0; ix < nx; ++ix) {
+    T sum = diag * in[base + ix];
+    for (int k = 1; k <= r; ++k) {
+      sum += cx[k] * (in[base + wx[static_cast<long>(ix) + k]] +
+                      in[base + wx[static_cast<long>(ix) - k]]);
+      sum += cy[k] *
+             (in[ix + nx * (wy[static_cast<long>(iy) + k] + ny * iz)] +
+              in[ix + nx * (wy[static_cast<long>(iy) - k] + ny * iz)]);
+      sum += cz[k] *
+             (in[ix + nx * (iy + ny * wz[static_cast<long>(iz) + k])] +
+              in[ix + nx * (iy + ny * wz[static_cast<long>(iz) - k])]);
+    }
+    out[base + ix] = sum;
+  }
+}
+
+// Row epilogue of the fused sweep: combines the raw stencil sum (already
+// in out, still hot in L1) with the diagonal terms. The branches hoist
+// the nullable pointers out of the inner loops.
+template <typename T>
+inline void fused_row_epilogue(const T* in, T* out, const FusedTerms<T>& t,
+                               std::size_t i0, std::size_t i1) {
+  const double alpha = t.alpha;
+  if (t.vdiag != nullptr) {
+    const double* v = t.vdiag;
+    if (t.extra != nullptr) {
+      for (std::size_t i = i0; i < i1; ++i)
+        out[i] = alpha * out[i] + (t.beta * v[i] + t.shift) * in[i] +
+                 t.eta * t.extra[i];
+    } else {
+      for (std::size_t i = i0; i < i1; ++i)
+        out[i] = alpha * out[i] + (t.beta * v[i] + t.shift) * in[i];
+    }
+  } else {
+    if (t.extra != nullptr) {
+      for (std::size_t i = i0; i < i1; ++i)
+        out[i] = alpha * out[i] + t.shift * in[i] + t.eta * t.extra[i];
+    } else {
+      for (std::size_t i = i0; i < i1; ++i)
+        out[i] = alpha * out[i] + t.shift * in[i];
+    }
+  }
+}
+
+}  // namespace detail
 
 class StencilLaplacian {
  public:
@@ -57,37 +230,134 @@ class StencilLaplacian {
   /// separable symbol. Used for Chebyshev bounds on H's spectrum.
   [[nodiscard]] double min_eigenvalue_bound() const;
 
-  /// out = Laplacian(in) for a single grid function.
+  /// out = Laplacian(in) for a single grid function. Dispatches to the
+  /// fused interior/boundary sweep unless RSRPA_FUSED_APPLY=0.
   template <typename T>
   void apply(std::span<const T> in, std::span<T> out) const {
+    if (fused_apply_enabled()) {
+      apply_fused<T>(in, out, FusedTerms<T>{});
+    } else {
+      apply_reference<T>(in, out);
+    }
+  }
+
+  /// Single-sweep fused kernel:
+  ///   out = t.alpha * Lap(in) + (t.beta * t.vdiag + t.shift) . in
+  ///         + t.eta * t.extra.
+  /// One pass over memory: the raw stencil sum of each x row is written
+  /// to out and immediately combined with the diagonal terms while the
+  /// row is in cache. Interior rows use direct strided offsets; boundary
+  /// shells (and axes shorter than 2r) keep the wrap tables. Threaded
+  /// over z chunks with disjoint writes — bitwise deterministic at every
+  /// RSRPA_THREADS setting.
+  template <typename T>
+  void apply_fused(std::span<const T> in, std::span<T> out,
+                   const FusedTerms<T>& t) const {
     RSRPA_REQUIRE(in.size() == grid_.size() && out.size() == grid_.size());
+    require_no_alias(in.data(), out.data(), in.size());
+    const std::size_t nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+    const int r = radius_;
+    const std::size_t rsz = static_cast<std::size_t>(r);
+    const long snx = static_cast<long>(nx);
+    const long snxny = static_cast<long>(nx * ny);
+    const std::size_t* wx = wrap_x_.data() + r;
+    const std::size_t* wy = wrap_y_.data() + r;
+    const std::size_t* wz = wrap_z_.data() + r;
+    const double* cx = cx_.data();
+    const double* cy = cy_.data();
+    const double* cz = cz_.data();
+    const double diag = diag_;
+    const T* pin = in.data();
+    T* pout = out.data();
+
+    // Interior extents per axis; an axis shorter than 2r is all boundary
+    // (x_lo == x_hi) and the wrap tables absorb the overlapping shells.
+    const std::size_t x_lo = std::min(rsz, nx);
+    const std::size_t x_hi = nx >= 2 * rsz ? nx - rsz : x_lo;
+    const bool y_interior = ny >= 2 * rsz;
+    const bool z_interior = nz >= 2 * rsz;
+    const detail::StencilRowFn<T> interior_row =
+        detail::pick_interior_row<T>(r);
+    const bool epilogue = !t.identity();
+    const std::size_t ty = fused_tile_y();
+    const std::size_t tz = fused_tile_z();
+
+    // One task per z chunk; rows (and therefore writes) are disjoint.
+    constexpr std::size_t kElemsPerTask = 1u << 16;
+    const std::size_t z_grain =
+        kElemsPerTask / std::max<std::size_t>(nx * ny, 1) + 1;
+    sched::parallel_for_range(0, nz, z_grain, [&](std::size_t zb,
+                                                  std::size_t ze) {
+      for (std::size_t z0 = zb; z0 < ze; z0 += tz) {
+        const std::size_t z1 = std::min(z0 + tz, ze);
+        for (std::size_t y0 = 0; y0 < ny; y0 += ty) {
+          const std::size_t y1 = std::min(y0 + ty, ny);
+          for (std::size_t iz = z0; iz < z1; ++iz) {
+            const bool z_in = z_interior && iz >= rsz && iz + rsz < nz;
+            for (std::size_t iy = y0; iy < y1; ++iy) {
+              const std::size_t base = nx * (iy + ny * iz);
+              if (z_in && y_interior && iy >= rsz && iy + rsz < ny) {
+                if (x_lo > 0)
+                  detail::stencil_row_xwrap<T>(pin, pout, base, 0, x_lo, snx,
+                                               snxny, r, wx, cx, cy, cz, diag);
+                if (x_hi > x_lo)
+                  interior_row(pin, pout, base, x_lo, x_hi, snx, snxny, r, cx,
+                               cy, cz, diag);
+                if (x_hi < nx)
+                  detail::stencil_row_xwrap<T>(pin, pout, base, x_hi, nx, snx,
+                                               snxny, r, wx, cx, cy, cz, diag);
+              } else {
+                detail::stencil_row_wrapped<T>(pin, pout, nx, ny, iy, iz, base,
+                                               r, wx, wy, wz, cx, cy, cz, diag);
+              }
+              if (epilogue)
+                detail::fused_row_epilogue<T>(pin, pout, t, base, base + nx);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  /// The seed wrap-table loop — correctness oracle, A1 ablation baseline,
+  /// and RSRPA_FUSED_APPLY=0 path. Threaded over z chunks through the
+  /// sched pool (not OpenMP) so RSRPA_THREADS governs it.
+  template <typename T>
+  void apply_reference(std::span<const T> in, std::span<T> out) const {
+    RSRPA_REQUIRE(in.size() == grid_.size() && out.size() == grid_.size());
+    require_no_alias(in.data(), out.data(), in.size());
     const std::size_t nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
     const int r = radius_;
     const std::size_t* wx = wrap_x_.data() + r;
     const std::size_t* wy = wrap_y_.data() + r;
     const std::size_t* wz = wrap_z_.data() + r;
-#pragma omp parallel for schedule(static)
-    for (std::size_t iz = 0; iz < nz; ++iz) {
-      for (std::size_t iy = 0; iy < ny; ++iy) {
-        const std::size_t base = nx * (iy + ny * iz);
-        // z and y neighbor plane/row offsets are shared across the x row.
-        for (std::size_t ix = 0; ix < nx; ++ix) {
-          T sum = static_cast<T>(diag_) * in[base + ix];
-          for (int k = 1; k <= r; ++k) {
-            sum += static_cast<T>(cx_[k]) *
-                   (in[base + wx[static_cast<long>(ix) + k]] +
-                    in[base + wx[static_cast<long>(ix) - k]]);
-            sum += static_cast<T>(cy_[k]) *
-                   (in[ix + nx * (wy[static_cast<long>(iy) + k] + ny * iz)] +
-                    in[ix + nx * (wy[static_cast<long>(iy) - k] + ny * iz)]);
-            sum += static_cast<T>(cz_[k]) *
-                   (in[ix + nx * (iy + ny * wz[static_cast<long>(iz) + k])] +
-                    in[ix + nx * (iy + ny * wz[static_cast<long>(iz) - k])]);
+    constexpr std::size_t kElemsPerTask = 1u << 16;
+    const std::size_t z_grain =
+        kElemsPerTask / std::max<std::size_t>(nx * ny, 1) + 1;
+    sched::parallel_for_range(0, nz, z_grain, [&](std::size_t zb,
+                                                  std::size_t ze) {
+      for (std::size_t iz = zb; iz < ze; ++iz) {
+        for (std::size_t iy = 0; iy < ny; ++iy) {
+          const std::size_t base = nx * (iy + ny * iz);
+          // z and y neighbor plane/row offsets are shared across the x row.
+          for (std::size_t ix = 0; ix < nx; ++ix) {
+            T sum = static_cast<T>(diag_) * in[base + ix];
+            for (int k = 1; k <= r; ++k) {
+              sum += static_cast<T>(cx_[k]) *
+                     (in[base + wx[static_cast<long>(ix) + k]] +
+                      in[base + wx[static_cast<long>(ix) - k]]);
+              sum += static_cast<T>(cy_[k]) *
+                     (in[ix + nx * (wy[static_cast<long>(iy) + k] + ny * iz)] +
+                      in[ix + nx * (wy[static_cast<long>(iy) - k] + ny * iz)]);
+              sum += static_cast<T>(cz_[k]) *
+                     (in[ix + nx * (iy + ny * wz[static_cast<long>(iz) + k])] +
+                      in[ix + nx * (iy + ny * wz[static_cast<long>(iz) - k])]);
+            }
+            out[base + ix] = sum;
           }
-          out[base + ix] = sum;
         }
       }
-    }
+    });
   }
 
   /// Column-at-a-time block apply (the paper's preferred schedule).
@@ -101,7 +371,10 @@ class StencilLaplacian {
   /// Simultaneous multi-vector apply: iterates grid points in the outer
   /// loops and vectors innermost. Kept for the SS III-C ablation; the
   /// working set grows by a factor s, which is exactly the effect the
-  /// paper's fast-memory model predicts will hurt.
+  /// paper's fast-memory model predicts will hurt. Deliberately still
+  /// OpenMP (the ablation measures the seed execution model, not the
+  /// sched pool) — the only omp pragma left on purpose; see the CMake
+  /// compute-path assertion.
   template <typename T>
   void apply_block_simultaneous(const la::Matrix<T>& in,
                                 la::Matrix<T>& out) const {
@@ -143,6 +416,16 @@ class StencilLaplacian {
   }
 
  private:
+  template <typename T>
+  static void require_no_alias(const T* a, const T* b, std::size_t n) {
+    const auto lo_a = reinterpret_cast<std::uintptr_t>(a);
+    const auto lo_b = reinterpret_cast<std::uintptr_t>(b);
+    const std::uintptr_t bytes = n * sizeof(T);
+    RSRPA_REQUIRE_MSG(lo_a + bytes <= lo_b || lo_b + bytes <= lo_a,
+                      "stencil apply: in/out must not alias (the sweep reads "
+                      "in after writing out)");
+  }
+
   static std::vector<std::size_t> make_wrap(std::size_t n, int r) {
     // Table of size n + 2r mapping shifted position i-r (i in [0, n+2r))
     // to its periodic image; indexed as wrap[r + q] for q in [-r, n+r).

@@ -13,10 +13,8 @@ NonlocalProjectors::NonlocalProjectors(const grid::Grid3D& g,
   if (params.proj_gamma == 0.0) return;
   const double inv2s2 = 1.0 / (2.0 * params.proj_sigma * params.proj_sigma);
   const double rc2 = params.proj_cutoff * params.proj_cutoff;
-  projectors_.reserve(crystal.n_atoms());
   for (const Atom& at : crystal.atoms()) {
-    Projector p;
-    p.gamma = params.proj_gamma;
+    const std::size_t kb = idx_.size();
     for (std::size_t iz = 0; iz < g.nz(); ++iz)
       for (std::size_t iy = 0; iy < g.ny(); ++iy)
         for (std::size_t ix = 0; ix < g.nx(); ++ix) {
@@ -26,46 +24,46 @@ NonlocalProjectors::NonlocalProjectors(const grid::Grid3D& g,
           const double dz = grid::Grid3D::min_image(x[2] - at.pos[2], g.lz());
           const double r2 = dx * dx + dy * dy + dz * dz;
           if (r2 > rc2) continue;
-          p.idx.push_back(g.index(ix, iy, iz));
-          p.val.push_back(std::exp(-r2 * inv2s2));
+          idx_.push_back(g.index(ix, iy, iz));
+          val_.push_back(std::exp(-r2 * inv2s2));
         }
     // Normalize so integral p^2 dv = 1 and gamma has energy units.
     double norm2 = 0.0;
-    for (double v : p.val) norm2 += v * v;
+    for (std::size_t k = kb; k < val_.size(); ++k) norm2 += val_[k] * val_[k];
     norm2 *= dv_;
     RSRPA_REQUIRE_MSG(norm2 > 0.0, "projector support contains no grid points");
     const double inv_norm = 1.0 / std::sqrt(norm2);
-    for (double& v : p.val) v *= inv_norm;
-    projectors_.push_back(std::move(p));
+    for (std::size_t k = kb; k < val_.size(); ++k) val_[k] *= inv_norm;
+    offsets_.push_back(idx_.size());
+    gamma_.push_back(params.proj_gamma);
   }
 }
 
 double NonlocalProjectors::operator_norm() const {
-  const std::size_t np = projectors_.size();
+  const std::size_t np = gamma_.size();
   if (np == 0) return 0.0;
   // || sum_a gamma p_a p_a^T || equals the largest eigenvalue of the
   // gamma-weighted projector Gram matrix G_ab = sqrt(g_a g_b) <p_a, p_b>.
   la::Matrix<double> gram(np, np);
   for (std::size_t a = 0; a < np; ++a) {
     for (std::size_t b = a; b < np; ++b) {
-      // Sparse dot over the index intersection (indices are sorted by
-      // construction order over the grid, i.e. ascending).
+      // Sparse dot over the index intersection (indices within each
+      // projector ascend by construction over the grid).
       double sum = 0.0;
-      const Projector& pa = projectors_[a];
-      const Projector& pb = projectors_[b];
-      std::size_t i = 0, j = 0;
-      while (i < pa.idx.size() && j < pb.idx.size()) {
-        if (pa.idx[i] < pb.idx[j])
+      std::size_t i = offsets_[a], j = offsets_[b];
+      const std::size_t ia_end = offsets_[a + 1], jb_end = offsets_[b + 1];
+      while (i < ia_end && j < jb_end) {
+        if (idx_[i] < idx_[j])
           ++i;
-        else if (pa.idx[i] > pb.idx[j])
+        else if (idx_[i] > idx_[j])
           ++j;
         else {
-          sum += pa.val[i] * pb.val[j];
+          sum += val_[i] * val_[j];
           ++i;
           ++j;
         }
       }
-      sum *= dv_ * std::sqrt(pa.gamma * pb.gamma);
+      sum *= dv_ * std::sqrt(gamma_[a] * gamma_[b]);
       gram(a, b) = sum;
       gram(b, a) = sum;
     }

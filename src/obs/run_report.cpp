@@ -31,6 +31,10 @@ Json to_json(const solver::SolveReport& rep) {
   j["relative_residual"] = rep.relative_residual;
   j["converged"] = rep.converged;
   j["matvec_columns"] = rep.matvec_columns;
+  if (rep.matvec_bytes > 0.0 || rep.matvec_flops > 0.0) {
+    j["matvec_bytes"] = rep.matvec_bytes;
+    j["matvec_flops"] = rep.matvec_flops;
+  }
   if (!rep.history.empty()) {
     Json h = Json::array();
     for (double r : rep.history) h.push_back(r);
@@ -58,6 +62,10 @@ Json to_json(const solver::ChunkRecord& rec) {
 Json to_json(const solver::DynamicBlockReport& rep) {
   Json j = Json::object();
   j["total_matvec_columns"] = rep.total_matvec_columns;
+  if (rep.total_matvec_bytes > 0.0 || rep.total_matvec_flops > 0.0) {
+    j["total_matvec_bytes"] = rep.total_matvec_bytes;
+    j["total_matvec_flops"] = rep.total_matvec_flops;
+  }
   j["total_seconds"] = rep.total_seconds;
   j["all_converged"] = rep.all_converged;
 
@@ -96,6 +104,12 @@ Json to_json(const rpa::SternheimerStats& stats) {
   j["block_size_chunks"] = std::move(hist);
   j["total_chunks"] = stats.total_chunks;
   j["matvec_columns"] = stats.matvec_columns;
+  if (stats.matvec_bytes > 0.0 || stats.matvec_flops > 0.0) {
+    j["matvec_bytes"] = stats.matvec_bytes;
+    j["matvec_flops"] = stats.matvec_flops;
+    if (stats.matvec_bytes > 0.0)
+      j["arithmetic_intensity"] = stats.matvec_flops / stats.matvec_bytes;
+  }
   j["seconds"] = stats.seconds;
   j["all_converged"] = stats.all_converged;
   j["restarts"] = stats.restarts;
@@ -120,6 +134,12 @@ Json to_json(const rpa::OmegaRecord& rec) {
   }
   if (rec.quarantined_columns > 0)
     j["quarantined_columns"] = rec.quarantined_columns;
+  if (rec.matvec_bytes > 0.0 || rec.matvec_flops > 0.0) {
+    j["matvec_bytes"] = rec.matvec_bytes;
+    j["matvec_flops"] = rec.matvec_flops;
+    if (rec.matvec_bytes > 0.0)
+      j["arithmetic_intensity"] = rec.matvec_flops / rec.matvec_bytes;
+  }
   Json eig = Json::array();
   for (double mu : rec.eigenvalues) eig.push_back(mu);
   j["eigenvalues"] = std::move(eig);

@@ -55,6 +55,12 @@ struct SternheimerStats {
   std::map<int, int> block_size_chunks;  ///< Table IV histogram
   long total_chunks = 0;
   long matvec_columns = 0;
+  /// Estimated operator traffic/work over all solves (the per-column cost
+  /// model of the bound ShiftedHamiltonianOp times matvec_columns), so
+  /// run reports expose achieved arithmetic intensity per quadrature
+  /// point: matvec_flops / matvec_bytes.
+  double matvec_bytes = 0.0;
+  double matvec_flops = 0.0;
   double seconds = 0.0;
   bool all_converged = true;
   // Recovery-ladder totals (solver/resilience.hpp).

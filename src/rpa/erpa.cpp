@@ -84,6 +84,8 @@ RpaResult compute_rpa_energy(const dft::KsSystem& sys,
     sopts.cheb_degree = opts.cheb_degree;
 
     const long quarantined_before = result.stern.quarantined_columns;
+    const double bytes_before = result.stern.matvec_bytes;
+    const double flops_before = result.stern.matvec_flops;
     SubspaceResult sub = subspace_iteration(op, q.omega, v, sopts,
                                             &result.stern, &result.timers,
                                             &result.events);
@@ -98,6 +100,8 @@ RpaResult compute_rpa_energy(const dft::KsSystem& sys,
     accumulate_trace_terms(sub.eigenvalues, k, rec, &result.events);
     rec.quarantined_columns =
         result.stern.quarantined_columns - quarantined_before;
+    rec.matvec_bytes = result.stern.matvec_bytes - bytes_before;
+    rec.matvec_flops = result.stern.matvec_flops - flops_before;
     if (rec.quarantined_columns > 0) {
       // The point's trace terms were computed from solves where the
       // quarantined columns still hold their initial guesses: finite, but

@@ -54,6 +54,11 @@ struct OmegaRecord {
   /// from solves where the quarantined columns still hold their initial
   /// guesses, so the point is non-converged but the run completes.
   long quarantined_columns = 0;
+  /// Sternheimer operator traffic/work attributable to this quadrature
+  /// point (delta of the run totals), exposing achieved arithmetic
+  /// intensity per point: matvec_flops / matvec_bytes.
+  double matvec_bytes = 0.0;
+  double matvec_flops = 0.0;
   std::vector<double> eigenvalues;  ///< converged Ritz values (ascending)
 };
 

@@ -56,6 +56,7 @@ SolveReport block_cocg(const BlockOpC& a, const la::Matrix<cplx>& b,
   RSRPA_REQUIRE(y.rows() == n && y.cols() == s && s >= 1);
 
   SolveReport rep;
+  MatvecCostScope cost_scope(rep, opts);
   const double bnorm = la::norm_fro(b);
   if (bnorm == 0.0) {
     y.zero();
@@ -164,6 +165,7 @@ SolveReport cocg(const BlockOpC& a, std::span<const cplx> b, std::span<cplx> y,
   RSRPA_REQUIRE(y.size() == n);
 
   SolveReport rep;
+  MatvecCostScope cost_scope(rep, opts);
   const double bnorm = la::nrm2(b);
   if (bnorm == 0.0) {
     std::fill(y.begin(), y.end(), cplx{});

@@ -13,6 +13,7 @@ SolveReport block_cocr(const BlockOpC& a, const la::Matrix<cplx>& b,
   RSRPA_REQUIRE(y.rows() == n && y.cols() == s && s >= 1);
 
   SolveReport rep;
+  MatvecCostScope cost_scope(rep, opts);
   const double bnorm = la::norm_fro(b);
   if (bnorm == 0.0) {
     y.zero();

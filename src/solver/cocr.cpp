@@ -13,6 +13,7 @@ SolveReport cocr(const BlockOpC& a, std::span<const cplx> b, std::span<cplx> y,
   RSRPA_REQUIRE(y.size() == n);
 
   SolveReport rep;
+  MatvecCostScope cost_scope(rep, opts);
   const double bnorm = la::nrm2(b);
   if (bnorm == 0.0) {
     std::fill(y.begin(), y.end(), cplx{});

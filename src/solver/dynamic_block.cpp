@@ -36,6 +36,10 @@ ChunkRecord solve_chunk(const BlockOpC& a, const la::Matrix<cplx>& b,
 
   auto record = [&](bool rethrowing) {
     rep.total_matvec_columns += rec.matvec_columns;
+    rep.total_matvec_bytes += static_cast<double>(rec.matvec_columns) *
+                              opts.solver.matvec_bytes_per_column;
+    rep.total_matvec_flops += static_cast<double>(rec.matvec_columns) *
+                              opts.solver.matvec_flops_per_column;
     rec.seconds = timer.seconds();
     rep.total_seconds += rec.seconds;
     rep.total_restarts += rec.restarts;

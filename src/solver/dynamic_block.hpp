@@ -50,6 +50,10 @@ struct ChunkRecord {
 struct DynamicBlockReport {
   std::vector<ChunkRecord> chunks;
   long total_matvec_columns = 0;
+  /// Estimated operator traffic/work over all chunks (matvec columns
+  /// times the SolverOptions per-column cost model; 0 when no model).
+  double total_matvec_bytes = 0.0;
+  double total_matvec_flops = 0.0;
   double total_seconds = 0.0;
   bool all_converged = true;
   // Recovery-ladder totals over all chunks.

@@ -1,0 +1,54 @@
+#include "solver/operator.hpp"
+
+#include "common/timer.hpp"
+#include "hamiltonian/hamiltonian.hpp"
+
+namespace rsrpa::solver {
+
+ApplyCostModel shifted_apply_cost(const ham::Hamiltonian& h, bool fused) {
+  // Sweep counting per complex column (paper SS III-C fast-memory model:
+  // stencil neighbors are cache hits, every sweep reads its operands
+  // once). n = grid points, nnz = total nonlocal support points.
+  //
+  //   fused:     one sweep — read in (16 B/pt), write out (16), read
+  //              V_loc (8) — plus the nonlocal gather+scatter touching
+  //              in/out on the support (2 x 32 B/pt, index/value streams
+  //              amortized across the block).
+  //   reference: stencil sweep (in+out, 32), scale+V_loc sweep
+  //              (out read/write + in + V_loc, 56), shift sweep (out
+  //              read/write + in, 48), plus the same nonlocal term.
+  //
+  // Flops: each stencil tap is a real x complex multiply-add (4 flops),
+  // 6r+1 taps per point; the diagonal terms add ~14 flops/pt fused
+  // (alpha scale, V_loc + shift multiply-add) and the same work spread
+  // over the extra sweeps on the reference path; nonlocal gather+scatter
+  // are real x complex multiply-adds on the support (8 flops/pt total).
+  const auto n = static_cast<double>(h.grid().size());
+  const auto nnz = static_cast<double>(h.nonlocal().support_size());
+  const double r = h.laplacian().radius();
+  ApplyCostModel m;
+  m.bytes_per_column = (fused ? 40.0 * n : 136.0 * n) + 64.0 * nnz;
+  m.flops_per_column = 4.0 * (6.0 * r + 1.0) * n + 14.0 * n + 8.0 * nnz;
+  return m;
+}
+
+ShiftedHamiltonianOp::ShiftedHamiltonianOp(const ham::Hamiltonian& h,
+                                           double lambda, double omega)
+    : h_(&h),
+      lambda_(lambda),
+      omega_(omega),
+      cost_(shifted_apply_cost(h, h.fused_apply())) {}
+
+void ShiftedHamiltonianOp::apply(const la::Matrix<cplx>& in,
+                                 la::Matrix<cplx>& out) const {
+  WallTimer timer;
+  h_->apply_shifted_block(in, out, lambda_, omega_);
+  const auto cols = static_cast<long>(in.cols());
+  counters_.applies += 1;
+  counters_.columns += cols;
+  counters_.bytes += cost_.bytes_per_column * static_cast<double>(cols);
+  counters_.flops += cost_.flops_per_column * static_cast<double>(cols);
+  counters_.seconds += timer.seconds();
+}
+
+}  // namespace rsrpa::solver

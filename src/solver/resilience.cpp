@@ -286,6 +286,10 @@ ResilientSolveResult resilient_block_solve(const BlockOpC& a,
   ctx.out = &out;
   ladder_solve(ctx, b, y, col0);
   out.report.matvec_columns = matvecs;
+  out.report.matvec_bytes =
+      static_cast<double>(matvecs) * sopts.matvec_bytes_per_column;
+  out.report.matvec_flops =
+      static_cast<double>(matvecs) * sopts.matvec_flops_per_column;
   return out;
 }
 
