@@ -5,6 +5,7 @@
 // runs the full pipeline, and writes a <name>.out report.
 //
 //   ./examples/rpacalc -name Si8            # reads Si8.rpa
+//   ./examples/rpacalc -name Si8 --checkpoint Si8.ckpt --resume
 //
 // Recognized keys (artifact keys first, same semantics):
 //   N_NUCHI_EIGS     total eigenvalues of nu chi0 to converge
@@ -34,6 +35,13 @@
 //   FAULT_ORBITAL      occupied orbital to hit; -1 = all
 //   FAULT_OMEGA        quadrature point to hit; -1 = all
 //   FAULT_SEED         RNG base for perturbed matvecs
+//
+// Checkpoint/restart keys (docs/REPRODUCING.md, "Checkpoint and resume"):
+//   CHECKPOINT  path of the run checkpoint, written atomically after every
+//               quadrature point (default: off)
+//   RESUME      1 = pick the run up from CHECKPOINT when the file exists
+//               (missing file starts fresh; mismatched fingerprint refuses)
+// The --checkpoint <path> and --resume flags override these keys.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,13 +49,16 @@
 #include <string>
 
 #include "common/config.hpp"
+#include "obs/event_log.hpp"
 #include "rpa/presets.hpp"
 
 namespace {
 
 void usage() {
-  std::fprintf(stderr, "usage: rpacalc -name <system>   (reads <system>.rpa, "
-                       "writes <system>.out)\n");
+  std::fprintf(stderr,
+               "usage: rpacalc -name <system> [--checkpoint <path>] "
+               "[--resume]\n"
+               "       (reads <system>.rpa, writes <system>.out)\n");
 }
 
 }  // namespace
@@ -56,8 +67,19 @@ int main(int argc, char** argv) {
   using namespace rsrpa;
 
   std::string name;
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], "-name") == 0) name = argv[i + 1];
+  std::string checkpoint_path;
+  bool resume = false;
+  bool resume_flag_set = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-name") == 0 && i + 1 < argc)
+      name = argv[++i];
+    else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc)
+      checkpoint_path = argv[++i];
+    else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+      resume_flag_set = true;
+    }
+  }
   if (name.empty()) {
     usage();
     return 2;
@@ -121,7 +143,31 @@ int main(int argc, char** argv) {
   if (cfg.has("FAULT_SEED"))
     opts.stern.fault.seed = static_cast<std::uint64_t>(cfg.get_int("FAULT_SEED"));
 
+  // Crash-safe checkpoint/restart: flags override the .rpa keys. The
+  // lifecycle events land in a process-local sink — they describe this
+  // process's I/O, not the physics, and stay out of the result log.
+  obs::EventLog ck_events;
+  if (checkpoint_path.empty() && cfg.has("CHECKPOINT"))
+    checkpoint_path = cfg.get_string("CHECKPOINT");
+  if (!resume_flag_set) resume = cfg.get_int_or("RESUME", 0) != 0;
+  if (!checkpoint_path.empty()) {
+    opts.checkpoint.path = checkpoint_path;
+    opts.checkpoint.resume = resume;
+    opts.checkpoint.events = &ck_events;
+    std::printf("rpacalc: checkpointing to %s after every quadrature point"
+                "%s\n",
+                checkpoint_path.c_str(),
+                resume ? " (resuming if present)" : "");
+  }
+
   rpa::RpaResult res = rpa::compute_rpa_energy(sys.ks, *sys.klap, opts);
+
+  for (const obs::Event& e : ck_events.events())
+    if (e.kind == obs::events::kRunResumed)
+      std::printf("rpacalc: %s\n", e.detail.c_str());
+  if (!checkpoint_path.empty())
+    std::printf("rpacalc: wrote %zu checkpoint(s)\n",
+                ck_events.count(obs::events::kCheckpointWritten));
 
   std::ostringstream out;
   out << "***************************************************************\n"

@@ -20,6 +20,10 @@
 #include <cstdint>
 #include <random>
 #include <span>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
 
 namespace rsrpa {
 
@@ -82,6 +86,25 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serialize the complete generator state (derivation seed + engine
+  /// position) to portable text. The io::RunCheckpoint layer persists
+  /// this so a resumed run draws exactly the values an uninterrupted run
+  /// would have drawn — both from the engine stream and from derive().
+  [[nodiscard]] std::string save_state() const {
+    std::ostringstream os;
+    os << seed_ << ' ' << engine_;
+    return os.str();
+  }
+
+  /// Inverse of save_state(). Throws Error on malformed input.
+  static Rng load_state(const std::string& state) {
+    std::istringstream is(state);
+    Rng r;
+    is >> r.seed_ >> r.engine_;
+    RSRPA_REQUIRE_MSG(!is.fail(), "Rng: malformed serialized state");
+    return r;
+  }
 
  private:
   std::uint64_t seed_;

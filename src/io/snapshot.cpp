@@ -1,6 +1,11 @@
 #include "io/snapshot.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 namespace rsrpa::io {
@@ -65,14 +70,56 @@ void check_magic(std::istream& in, const char (&magic)[8],
                     "snapshot: bad magic in " + path);
 }
 
+// fsync a path (a file's data or a directory's entry table).
+void fsync_path(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  RSRPA_REQUIRE_MSG(fd >= 0, "cannot open " + path + " for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  RSRPA_REQUIRE_MSG(rc == 0, "fsync failed for " + path);
+}
+
 }  // namespace
 
-void save_matrix(const std::string& path, const la::Matrix<double>& m) {
-  std::ofstream out(path, std::ios::binary);
-  RSRPA_REQUIRE_MSG(out.good(), "cannot open " + path + " for writing");
+void atomic_write(const std::string& path,
+                  const std::function<void(std::ostream&)>& body) {
+  // Per-process temp name in the destination directory, so the final
+  // rename stays within one filesystem and concurrent test processes
+  // cannot collide on the staging file.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      RSRPA_REQUIRE_MSG(out.good(), "cannot open " + tmp + " for writing");
+      body(out);
+      out.flush();
+      RSRPA_REQUIRE_MSG(out.good(), "write failed for " + tmp);
+    }
+    fsync_path(tmp, O_RDONLY);
+    RSRPA_REQUIRE_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                      "rename failed: " + tmp + " -> " + path);
+    std::string parent = std::filesystem::path(path).parent_path().string();
+    if (parent.empty()) parent = ".";
+    fsync_path(parent, O_RDONLY | O_DIRECTORY);
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
+}
+
+void save_matrix_stream(std::ostream& out, const la::Matrix<double>& m) {
   out.write(kMatrixMagic, 8);
   write_matrix_body(out, m);
-  RSRPA_REQUIRE_MSG(out.good(), "write failed for " + path);
+}
+
+la::Matrix<double> load_matrix_stream(std::istream& in) {
+  check_magic(in, kMatrixMagic, "stream");
+  return read_matrix_body(in);
+}
+
+void save_matrix(const std::string& path, const la::Matrix<double>& m) {
+  atomic_write(path, [&m](std::ostream& out) { save_matrix_stream(out, m); });
 }
 
 la::Matrix<double> load_matrix(const std::string& path) {
@@ -84,20 +131,19 @@ la::Matrix<double> load_matrix(const std::string& path) {
 
 void save_ks_snapshot(const std::string& path, const dft::KsSystem& sys) {
   const grid::Grid3D& g = sys.h->grid();
-  std::ofstream out(path, std::ios::binary);
-  RSRPA_REQUIRE_MSG(out.good(), "cannot open " + path + " for writing");
-  out.write(kKsMagic, 8);
-  write_u64(out, g.nx());
-  write_u64(out, g.ny());
-  write_u64(out, g.nz());
-  const double geom[3] = {g.lx(), g.ly(), g.lz()};
-  write_doubles(out, geom, 3);
-  const double gap[2] = {sys.homo, sys.lumo};
-  write_doubles(out, gap, 2);
-  write_u64(out, sys.eigenvalues.size());
-  write_doubles(out, sys.eigenvalues.data(), sys.eigenvalues.size());
-  write_matrix_body(out, sys.orbitals);
-  RSRPA_REQUIRE_MSG(out.good(), "write failed for " + path);
+  atomic_write(path, [&](std::ostream& out) {
+    out.write(kKsMagic, 8);
+    write_u64(out, g.nx());
+    write_u64(out, g.ny());
+    write_u64(out, g.nz());
+    const double geom[3] = {g.lx(), g.ly(), g.lz()};
+    write_doubles(out, geom, 3);
+    const double gap[2] = {sys.homo, sys.lumo};
+    write_doubles(out, gap, 2);
+    write_u64(out, sys.eigenvalues.size());
+    write_doubles(out, sys.eigenvalues.data(), sys.eigenvalues.size());
+    write_matrix_body(out, sys.orbitals);
+  });
 }
 
 KsSnapshot load_ks_snapshot(const std::string& path) {

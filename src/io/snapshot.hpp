@@ -14,6 +14,8 @@
 // orbital matrix.
 #pragma once
 
+#include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -23,7 +25,25 @@
 
 namespace rsrpa::io {
 
-/// Write a dense real matrix. Throws Error on I/O failure.
+/// Durable atomic file replacement: `body` streams the new contents into
+/// a temporary file in the same directory, which is flushed, fsynced and
+/// renamed over `path` (with a directory fsync so the rename itself is
+/// durable). A crash at any instant leaves either the complete previous
+/// file or the complete new one — never a truncated hybrid. On failure
+/// (including an exception from `body`) the temporary is removed and
+/// `path` is untouched. All snapshot and checkpoint writers route
+/// through this.
+void atomic_write(const std::string& path,
+                  const std::function<void(std::ostream&)>& body);
+
+/// Stream-level forms of the matrix format (magic + u64 rows + u64 cols +
+/// column-major doubles), for embedding matrices inside larger files
+/// (the RunCheckpoint container in io/checkpoint.hpp).
+void save_matrix_stream(std::ostream& out, const la::Matrix<double>& m);
+la::Matrix<double> load_matrix_stream(std::istream& in);
+
+/// Write a dense real matrix (atomically; see atomic_write). Throws
+/// Error on I/O failure.
 void save_matrix(const std::string& path, const la::Matrix<double>& m);
 
 /// Read a matrix written by save_matrix. Throws Error on malformed files.
@@ -39,7 +59,8 @@ struct KsSnapshot {
   la::Matrix<double> orbitals;      ///< n_d x n_s, grid-l2-orthonormal
 };
 
-/// Save the orbital data of a solved system.
+/// Save the orbital data of a solved system (atomically; see
+/// atomic_write).
 void save_ks_snapshot(const std::string& path, const dft::KsSystem& sys);
 
 /// Load a snapshot; validates header magic and shape consistency.

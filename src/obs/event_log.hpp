@@ -36,6 +36,18 @@ inline constexpr const char* kQuadPointDegraded = "quad_point_degraded";
 // event per chi0 application with modeled bytes/flops, measured seconds,
 // and the resulting arithmetic intensity.
 inline constexpr const char* kApplyCounters = "apply_counters";
+// Warm-start hygiene: quarantined subspace columns re-randomized before
+// the next quadrature point (part of the result log — deterministic).
+inline constexpr const char* kWarmStartReseed = "warm_start_reseed";
+// One-time configuration warning: TOL_EIG has more entries than N_OMEGA
+// and the excess is ignored (part of the result log — deterministic).
+inline constexpr const char* kTolEigTruncated = "tol_eig_truncated";
+// Run-checkpoint lifecycle (io/checkpoint.hpp). These go to the SEPARATE
+// CheckpointOptions::events sink, never into RpaResult::events: the
+// result log is covered by the bitwise resume-equivalence contract,
+// while these describe one process's I/O, not the computation.
+inline constexpr const char* kCheckpointWritten = "checkpoint_written";
+inline constexpr const char* kRunResumed = "run_resumed";
 }  // namespace events
 
 struct Event {

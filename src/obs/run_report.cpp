@@ -116,6 +116,11 @@ Json to_json(const rpa::SternheimerStats& stats) {
   j["deflations"] = stats.deflations;
   j["solver_swaps"] = stats.solver_swaps;
   j["quarantined_columns"] = stats.quarantined_columns;
+  if (!stats.quarantined_column_indices.empty()) {
+    Json idx = Json::array();
+    for (long c : stats.quarantined_column_indices) idx.push_back(c);
+    j["quarantined_column_indices"] = std::move(idx);
+  }
   return j;
 }
 
@@ -134,6 +139,11 @@ Json to_json(const rpa::OmegaRecord& rec) {
   }
   if (rec.quarantined_columns > 0)
     j["quarantined_columns"] = rec.quarantined_columns;
+  if (!rec.quarantined_column_indices.empty()) {
+    Json idx = Json::array();
+    for (long c : rec.quarantined_column_indices) idx.push_back(c);
+    j["quarantined_column_indices"] = std::move(idx);
+  }
   if (rec.matvec_bytes > 0.0 || rec.matvec_flops > 0.0) {
     j["matvec_bytes"] = rec.matvec_bytes;
     j["matvec_flops"] = rec.matvec_flops;
@@ -199,6 +209,59 @@ Json to_json(const par::ParallelRpaResult& res) {
   }
   j["ranks"] = std::move(ranks);
   return j;
+}
+
+KernelTimers kernel_timers_from_json(const Json& j) {
+  KernelTimers timers;
+  for (const auto& [name, seconds] : j.as_object())
+    timers.add(name, seconds.as_double());
+  return timers;
+}
+
+rpa::SternheimerStats sternheimer_stats_from_json(const Json& j) {
+  rpa::SternheimerStats stats;
+  for (const auto& [size, count] : j.at("block_size_chunks").as_object())
+    stats.block_size_chunks[std::stoi(size)] =
+        static_cast<int>(count.as_int());
+  stats.total_chunks = j.at("total_chunks").as_int();
+  stats.matvec_columns = j.at("matvec_columns").as_int();
+  if (const Json* b = j.find("matvec_bytes")) stats.matvec_bytes = b->as_double();
+  if (const Json* f = j.find("matvec_flops")) stats.matvec_flops = f->as_double();
+  stats.seconds = j.at("seconds").as_double();
+  stats.all_converged = j.at("all_converged").as_bool();
+  stats.restarts = j.at("restarts").as_int();
+  stats.deflations = j.at("deflations").as_int();
+  stats.solver_swaps = j.at("solver_swaps").as_int();
+  stats.quarantined_columns = j.at("quarantined_columns").as_int();
+  if (const Json* idx = j.find("quarantined_column_indices"))
+    for (const Json& c : idx->as_array())
+      stats.quarantined_column_indices.push_back(c.as_int());
+  return stats;
+}
+
+rpa::OmegaRecord omega_record_from_json(const Json& j) {
+  rpa::OmegaRecord rec;
+  rec.omega = j.at("omega").as_double();
+  rec.weight = j.at("weight").as_double();
+  rec.e_term = j.at("e_term").as_double();
+  rec.filter_iterations = static_cast<int>(j.at("filter_iterations").as_int());
+  rec.error = j.at("error").as_double();
+  rec.converged = j.at("converged").as_bool();
+  rec.seconds = j.at("seconds").as_double();
+  if (const Json* n = j.find("invalid_terms")) {
+    rec.invalid_terms = static_cast<int>(n->as_int());
+    rec.worst_mu = j.at("worst_mu").as_double();
+  }
+  if (const Json* q = j.find("quarantined_columns"))
+    rec.quarantined_columns = q->as_int();
+  if (const Json* idx = j.find("quarantined_column_indices"))
+    for (const Json& c : idx->as_array())
+      rec.quarantined_column_indices.push_back(c.as_int());
+  if (const Json* b = j.find("matvec_bytes")) rec.matvec_bytes = b->as_double();
+  if (const Json* f = j.find("matvec_flops")) rec.matvec_flops = f->as_double();
+  for (const Json& mu : j.at("eigenvalues").as_array())
+    rec.eigenvalues.push_back(mu.as_double());
+  return rec;
 }
 
 RunReport::RunReport(std::string name) : name_(std::move(name)) {

@@ -37,6 +37,15 @@ Json to_json(const rpa::OmegaRecord& rec);
 /// kernel timers, and the event log.
 Json to_json(const rpa::RpaResult& res);
 
+/// Lossless inverses of the serializers above, used by the run-checkpoint
+/// layer (io/checkpoint.hpp) to rebuild driver state. Doubles survive the
+/// round trip bitwise (dump() emits the shortest representation that
+/// from_chars parses back exactly); derived fields such as
+/// arithmetic_intensity are recomputed, never parsed.
+KernelTimers kernel_timers_from_json(const Json& j);
+rpa::SternheimerStats sternheimer_stats_from_json(const Json& j);
+rpa::OmegaRecord omega_record_from_json(const Json& j);
+
 Json to_json(const par::KernelBreakdown& k);
 /// Adds the per-rank measured seconds and per-rank merged timers on top
 /// of the embedded RpaResult record.

@@ -2,15 +2,19 @@
 
 #include <atomic>
 #include <cmath>
+#include <filesystem>
 #include <utility>
 #include <vector>
 
+#include "io/checkpoint.hpp"
 #include "la/blas.hpp"
 #include "la/eig.hpp"
 #include "la/qr.hpp"
+#include "rpa/checkpoint_driver.hpp"
 #include "rpa/quadrature.hpp"
 #include "sched/sched.hpp"
 #include "solver/chebyshev.hpp"
+#include "solver/resilience.hpp"
 
 namespace rsrpa::par {
 
@@ -54,7 +58,10 @@ void ranked_apply(RunState& st, const la::Matrix<double>& in,
   }
   group.wait();
   for (std::size_t r = 0; r < p; ++r) {
-    if (st.stats != nullptr) st.stats->merge(rank_stats[r]);
+    // Offset the per-rank quarantined-column indices into the V frame:
+    // rank r's slice starts at column part.begin(r) of the full block.
+    if (st.stats != nullptr)
+      st.stats->merge(rank_stats[r], static_cast<long>(part.begin(r)));
     if (st.events != nullptr) st.events->merge(rank_events[r]);
   }
 }
@@ -193,25 +200,54 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
   la::Matrix<double> v(n, m);
   for (std::size_t j = 0; j < m; ++j) rng.fill_uniform(v.col(j));
 
-  // Fault injection can be restricted to one quadrature point; toggle the
-  // operator's fault mode per point against the requested configuration.
-  const solver::FaultMode requested_fault = ropts.stern.fault.mode;
+  // Checkpointing fingerprints ropts (after the max_block adjustment
+  // above — that is the configuration actually computed with), with the
+  // rank count distinguishing this driver from compute_rpa_energy.
+  const rpa::CheckpointOptions& copts = ropts.checkpoint;
+  const bool checkpointing = !copts.path.empty();
+  const std::uint64_t fingerprint =
+      checkpointing ? io::run_fingerprint(sys, ropts, p) : 0;
+
+  int k0 = 0;
+  bool tol_warned = false;
+  if (checkpointing && copts.resume && std::filesystem::exists(copts.path)) {
+    io::RunCheckpoint ck = io::load_run_checkpoint(copts.path, fingerprint);
+    RSRPA_REQUIRE_MSG(ck.rank_apply_seconds.size() == p &&
+                          ck.rank_error_seconds.size() == p,
+                      "checkpoint rank count mismatch");
+    for (std::size_t r = 0; r < p; ++r) {
+      rank_apply[r].store(ck.rank_apply_seconds[r],
+                          std::memory_order_relaxed);
+      rank_error[r].store(ck.rank_error_seconds[r],
+                          std::memory_order_relaxed);
+    }
+    matmult_seconds = ck.matmult_seconds;
+    eigensolve_seconds = ck.eigensolve_seconds;
+    error_checks = ck.error_checks;
+    k0 = rpa::detail::restore_checkpoint(std::move(ck), ropts,
+                                         /*parallel=*/true, result.rpa, v,
+                                         rng);
+    // The restored event log already carries point 0's one-time TOL_EIG
+    // warning (if any); don't emit it twice.
+    tol_warned = true;
+  }
+
+  // Fault injection can be restricted to one quadrature point; the scope
+  // guard owns the per-point toggling of the live operator's fault mode
+  // and restores the requested mode on every exit path.
+  solver::FaultModeScope fault_scope(op.chi0().options().fault.mode);
 
   WallTimer total;
-  for (int k = 0; k < ropts.ell; ++k) {
+  for (int k = k0; k < ropts.ell; ++k) {
     const rpa::QuadPoint& q = quad[static_cast<std::size_t>(k)];
     st.omega = q.omega;
-    if (requested_fault != solver::FaultMode::kNone)
-      op.chi0().options().fault.mode =
-          (ropts.fault_omega < 0 || ropts.fault_omega == k)
-              ? requested_fault
-              : solver::FaultMode::kNone;
+    if (fault_scope.requested() != solver::FaultMode::kNone)
+      fault_scope.select_for_point(k, ropts.fault_omega);
     const long quarantined_before = result.rpa.stern.quarantined_columns;
-    const double tol =
-        ropts.tol_eig.empty()
-            ? 5e-4
-            : ropts.tol_eig[std::min<std::size_t>(static_cast<std::size_t>(k),
-                                                  ropts.tol_eig.size() - 1)];
+    const std::size_t quarantine_idx_before =
+        result.rpa.stern.quarantined_column_indices.size();
+    const double tol = rpa::tol_for_point(ropts, k, &result.rpa.events,
+                                          &tol_warned);
 
     WallTimer omega_timer;
     RrStep rr =
@@ -252,6 +288,8 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
     rpa::accumulate_trace_terms(rr.values, k, rec, &result.rpa.events);
     rec.quarantined_columns =
         result.rpa.stern.quarantined_columns - quarantined_before;
+    rec.quarantined_column_indices = rpa::detail::quarantined_columns_since(
+        result.rpa.stern, quarantine_idx_before);
     if (rec.quarantined_columns > 0) {
       rec.converged = false;
       result.rpa.degraded = true;
@@ -265,7 +303,37 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
     rec.seconds = omega_timer.seconds();
     result.rpa.e_rpa += q.weight * rec.e_term / (2.0 * M_PI);
     result.rpa.converged = result.rpa.converged && rec.converged;
+
+    // Warm-start hygiene: a quarantined column's content is whatever the
+    // recovery ladder froze it at — re-randomize before it seeds the next
+    // point. Done before the checkpoint write so the persisted V already
+    // includes the refill (resume needs no replay).
+    if (ropts.warm_start && k + 1 < ropts.ell &&
+        !rec.quarantined_column_indices.empty())
+      rpa::detail::reseed_quarantined_columns(
+          v, rec.quarantined_column_indices, rng, k, result.rpa.events);
     result.rpa.per_omega.push_back(std::move(rec));
+
+    if (checkpointing) {
+      // This is the rank-merge barrier: every per-rank telemetry sink has
+      // merged into result.rpa, so the snapshot is a consistent cut.
+      io::RunCheckpoint ck = rpa::detail::make_checkpoint(
+          fingerprint, k + 1, ropts, result.rpa, v, rng);
+      ck.parallel = true;
+      ck.matmult_seconds = matmult_seconds;
+      ck.eigensolve_seconds = eigensolve_seconds;
+      ck.error_checks = error_checks;
+      ck.rank_apply_seconds.resize(p);
+      ck.rank_error_seconds.resize(p);
+      for (std::size_t r = 0; r < p; ++r) {
+        ck.rank_apply_seconds[r] =
+            rank_apply[r].load(std::memory_order_relaxed);
+        ck.rank_error_seconds[r] =
+            rank_error[r].load(std::memory_order_relaxed);
+      }
+      io::save_run_checkpoint(copts.path, ck);
+      rpa::detail::after_checkpoint_write(copts, k);
+    }
   }
   result.rpa.total_seconds = total.seconds();
   result.rpa.e_rpa_per_atom =

@@ -35,9 +35,12 @@ void SternheimerStats::merge(const solver::DynamicBlockReport& rep) {
   deflations += rep.total_deflations;
   solver_swaps += rep.total_solver_swaps;
   quarantined_columns += static_cast<long>(rep.quarantined_columns.size());
+  quarantined_column_indices.insert(quarantined_column_indices.end(),
+                                    rep.quarantined_columns.begin(),
+                                    rep.quarantined_columns.end());
 }
 
-void SternheimerStats::merge(const SternheimerStats& other) {
+void SternheimerStats::merge(const SternheimerStats& other, long col0) {
   for (const auto& [size, count] : other.block_size_chunks)
     block_size_chunks[size] += count;
   total_chunks += other.total_chunks;
@@ -50,6 +53,8 @@ void SternheimerStats::merge(const SternheimerStats& other) {
   deflations += other.deflations;
   solver_swaps += other.solver_swaps;
   quarantined_columns += other.quarantined_columns;
+  for (long c : other.quarantined_column_indices)
+    quarantined_column_indices.push_back(c + col0);
 }
 
 Chi0Applier::Chi0Applier(const dft::KsSystem& sys, SternheimerOptions opts)

@@ -68,9 +68,19 @@ struct SternheimerStats {
   long deflations = 0;
   long solver_swaps = 0;
   long quarantined_columns = 0;
+  /// Column indices (in the frame of the block handed to the operator —
+  /// i.e. positions in the driver's subspace V) that rung 4 gave up on,
+  /// in quarantine order. Indices can repeat when the same column fails
+  /// for several occupied orbitals or applies; consumers deduplicate.
+  /// The warm-start chain uses the per-point delta of this list to
+  /// re-randomize poisoned columns before the next quadrature point.
+  std::vector<long> quarantined_column_indices;
 
   void merge(const solver::DynamicBlockReport& rep);
-  void merge(const SternheimerStats& other);
+  /// Merge another stats object; `col0` shifts its quarantined column
+  /// indices into this object's column frame (the rank offset when
+  /// merging per-rank slices in par/parallel_rpa).
+  void merge(const SternheimerStats& other, long col0 = 0);
 };
 
 class Chi0Applier {

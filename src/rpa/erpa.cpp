@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <limits>
+
+#include "io/checkpoint.hpp"
+#include "rpa/checkpoint_driver.hpp"
+#include "solver/resilience.hpp"
 
 namespace rsrpa::rpa {
 
@@ -37,6 +42,23 @@ double accumulate_trace_terms(const std::vector<double>& eigenvalues,
   return sum;
 }
 
+double tol_for_point(const RpaOptions& opts, int k, obs::EventLog* events,
+                     bool* warned) {
+  RSRPA_REQUIRE(k >= 0 && k < opts.ell);
+  if (opts.tol_eig.empty()) return 5e-4;
+  if (opts.tol_eig.size() > static_cast<std::size_t>(opts.ell) &&
+      events != nullptr && (warned == nullptr || !*warned)) {
+    events->emit(obs::events::kTolEigTruncated,
+                 "TOL_EIG has more entries than N_OMEGA; the excess is "
+                 "ignored",
+                 {{"tol_eig_entries", static_cast<double>(opts.tol_eig.size())},
+                  {"ell", static_cast<double>(opts.ell)}});
+    if (warned != nullptr) *warned = true;
+  }
+  return opts.tol_eig[std::min(static_cast<std::size_t>(k),
+                               opts.tol_eig.size() - 1)];
+}
+
 RpaResult compute_rpa_energy(const dft::KsSystem& sys,
                              const poisson::KroneckerLaplacian& klap,
                              const RpaOptions& opts) {
@@ -58,32 +80,45 @@ RpaResult compute_rpa_energy(const dft::KsSystem& sys,
   la::Matrix<double> v(sys.n_grid(), opts.n_eig);
   for (std::size_t j = 0; j < opts.n_eig; ++j) rng.fill_uniform(v.col(j));
 
-  // Fault injection can be restricted to one quadrature point; toggle the
-  // operator's fault mode per point against the requested configuration.
-  const solver::FaultMode requested_fault = opts.stern.fault.mode;
+  const CheckpointOptions& copts = opts.checkpoint;
+  const bool checkpointing = !copts.path.empty();
+  const std::uint64_t fingerprint =
+      checkpointing ? io::run_fingerprint(sys, opts, 0) : 0;
 
-  for (int k = 0; k < opts.ell; ++k) {
+  int k0 = 0;
+  bool tol_warned = false;
+  if (checkpointing && copts.resume && std::filesystem::exists(copts.path)) {
+    io::RunCheckpoint ck = io::load_run_checkpoint(copts.path, fingerprint);
+    k0 = detail::restore_checkpoint(std::move(ck), opts, /*parallel=*/false,
+                                    result, v, rng);
+    // The restored event log already carries point 0's one-time TOL_EIG
+    // warning (if any); don't emit it twice.
+    tol_warned = true;
+  }
+
+  // Fault injection can be restricted to one quadrature point; the scope
+  // guard owns the per-point toggling of the live operator's fault mode
+  // and restores the requested mode on every exit path.
+  solver::FaultModeScope fault_scope(op.chi0().options().fault.mode);
+
+  for (int k = k0; k < opts.ell; ++k) {
     const QuadPoint& q = quad[static_cast<std::size_t>(k)];
     WallTimer omega_timer;
 
-    if (requested_fault != solver::FaultMode::kNone)
-      op.chi0().options().fault.mode =
-          (opts.fault_omega < 0 || opts.fault_omega == k)
-              ? requested_fault
-              : solver::FaultMode::kNone;
+    if (fault_scope.requested() != solver::FaultMode::kNone)
+      fault_scope.select_for_point(k, opts.fault_omega);
 
     if (!opts.warm_start && k > 0)
       for (std::size_t j = 0; j < opts.n_eig; ++j) rng.fill_uniform(v.col(j));
 
     SubspaceOptions sopts;
-    sopts.tol = opts.tol_eig.empty()
-                    ? 5e-4
-                    : opts.tol_eig[std::min<std::size_t>(
-                          static_cast<std::size_t>(k), opts.tol_eig.size() - 1)];
+    sopts.tol = tol_for_point(opts, k, &result.events, &tol_warned);
     sopts.max_filter_iter = opts.max_filter_iter;
     sopts.cheb_degree = opts.cheb_degree;
 
     const long quarantined_before = result.stern.quarantined_columns;
+    const std::size_t quarantine_idx_before =
+        result.stern.quarantined_column_indices.size();
     const double bytes_before = result.stern.matvec_bytes;
     const double flops_before = result.stern.matvec_flops;
     SubspaceResult sub = subspace_iteration(op, q.omega, v, sopts,
@@ -100,6 +135,8 @@ RpaResult compute_rpa_energy(const dft::KsSystem& sys,
     accumulate_trace_terms(sub.eigenvalues, k, rec, &result.events);
     rec.quarantined_columns =
         result.stern.quarantined_columns - quarantined_before;
+    rec.quarantined_column_indices =
+        detail::quarantined_columns_since(result.stern, quarantine_idx_before);
     rec.matvec_bytes = result.stern.matvec_bytes - bytes_before;
     rec.matvec_flops = result.stern.matvec_flops - flops_before;
     if (rec.quarantined_columns > 0) {
@@ -119,7 +156,23 @@ RpaResult compute_rpa_energy(const dft::KsSystem& sys,
     rec.seconds = omega_timer.seconds();
     result.e_rpa += q.weight * rec.e_term / (2.0 * M_PI);
     result.converged = result.converged && rec.converged;
+
+    // Warm-start hygiene: a quarantined column's content is whatever the
+    // recovery ladder froze it at — re-randomize before it seeds the next
+    // point. Done before the checkpoint write so the persisted V already
+    // includes the refill (resume needs no replay).
+    if (opts.warm_start && k + 1 < opts.ell &&
+        !rec.quarantined_column_indices.empty())
+      detail::reseed_quarantined_columns(v, rec.quarantined_column_indices,
+                                         rng, k, result.events);
     result.per_omega.push_back(std::move(rec));
+
+    if (checkpointing) {
+      io::save_run_checkpoint(
+          copts.path,
+          detail::make_checkpoint(fingerprint, k + 1, opts, result, v, rng));
+      detail::after_checkpoint_write(copts, k);
+    }
   }
 
   const std::size_t n_atoms = sys.h->crystal().n_atoms();

@@ -18,6 +18,37 @@
 
 namespace rsrpa::rpa {
 
+/// Thrown by the drivers when CheckpointOptions::halt_after_point fires:
+/// the kill-and-resume tests' stand-in for a crash immediately after a
+/// checkpoint reaches disk.
+struct RunHalted : Error {
+  using Error::Error;
+};
+
+/// Run-granularity crash recovery (io/checkpoint.hpp). With `path` set,
+/// the drivers persist a versioned RunCheckpoint after every quadrature
+/// point — warm-start subspace, partial E_RPA sum, completed per-omega
+/// records, RNG state, config fingerprint — and, with `resume`, pick the
+/// run back up from that file instead of starting over. Writes are
+/// atomic (io::atomic_write), so a crash can never leave a torn
+/// checkpoint behind.
+struct CheckpointOptions {
+  std::string path;     ///< empty = checkpointing disabled
+  /// Load `path` before the first point when it exists; a missing file
+  /// starts a fresh run (so `resume` can be passed unconditionally). A
+  /// checkpoint whose fingerprint does not match this system + options
+  /// is refused with an Error.
+  bool resume = false;
+  /// Lifecycle sink for checkpoint_written / run_resumed events. Kept
+  /// SEPARATE from RpaResult::events on purpose: the result log is part
+  /// of the bitwise resume-equivalence contract, while these events
+  /// describe one process's I/O, not the computation. Not owned.
+  obs::EventLog* events = nullptr;
+  /// Test hook: throw RunHalted right after the checkpoint for this
+  /// quadrature-point index is written (simulated crash). -1 = off.
+  int halt_after_point = -1;
+};
+
 struct RpaOptions {
   std::size_t n_eig = 0;  ///< N_NUCHI_EIGS; required
   int ell = 8;            ///< N_OMEGA
@@ -34,6 +65,10 @@ struct RpaOptions {
   /// quadrature-point index; -1 injects at every point. Lets the fault
   /// suite poison exactly one omega and check the rest stay clean.
   int fault_omega = -1;
+  /// Crash-safe checkpoint/restart of the quadrature sweep. Excluded
+  /// from the config fingerprint: where a run checkpoints (and whether
+  /// it resumes) is process policy, not part of the computation.
+  CheckpointOptions checkpoint;
 };
 
 struct OmegaRecord {
@@ -54,6 +89,11 @@ struct OmegaRecord {
   /// from solves where the quarantined columns still hold their initial
   /// guesses, so the point is non-converged but the run completes.
   long quarantined_columns = 0;
+  /// The distinct subspace (V) column indices behind that count, sorted.
+  /// These are the columns the warm-start chain re-randomizes before the
+  /// next quadrature point so one poisoned omega cannot contaminate the
+  /// points downstream of it.
+  std::vector<long> quarantined_column_indices;
   /// Sternheimer operator traffic/work attributable to this quadrature
   /// point (delta of the run totals), exposing achieved arithmetic
   /// intensity per point: matvec_flops / matvec_bytes.
@@ -97,5 +137,16 @@ double rpa_trace_term(double mu);
 double accumulate_trace_terms(const std::vector<double>& eigenvalues,
                               int omega_index, OmegaRecord& rec,
                               obs::EventLog* events);
+
+/// Resolve TOL_EIG for quadrature point `k` (shared by the serial and
+/// parallel drivers): an empty vector falls back to 5e-4, a vector
+/// shorter than ell is padded with its last entry, and entries beyond
+/// ell are ignored — with a one-time tol_eig_truncated warning emitted
+/// into `events` the first call that sees the excess. `warned` (one bool
+/// per run, owned by the driver loop) suppresses repeats; resumed runs
+/// start it true because the restored event log already carries the
+/// point-0 warning.
+double tol_for_point(const RpaOptions& opts, int k,
+                     obs::EventLog* events = nullptr, bool* warned = nullptr);
 
 }  // namespace rsrpa::rpa

@@ -90,6 +90,35 @@ class FaultInjectingOp {
   std::shared_ptr<State> state_;
 };
 
+/// RAII selector for per-quadrature-point fault injection. The RPA
+/// drivers honor FAULT_OMEGA by flipping the live operator's fault mode
+/// before every point; this guard owns that mutation and restores the
+/// originally requested mode when it leaves scope (normally or via an
+/// exception), so the operator can never be left in whatever the last
+/// point happened to select.
+class FaultModeScope {
+ public:
+  /// Captures the mode currently in `slot` as the requested one.
+  explicit FaultModeScope(FaultMode& slot) : slot_(slot), requested_(slot) {}
+  ~FaultModeScope() { slot_ = requested_; }
+  FaultModeScope(const FaultModeScope&) = delete;
+  FaultModeScope& operator=(const FaultModeScope&) = delete;
+
+  /// The injection mode the run configuration asked for.
+  [[nodiscard]] FaultMode requested() const { return requested_; }
+
+  /// Arm the slot for quadrature point `k`: the requested mode when the
+  /// fault targets k (fault_omega < 0 targets every point), else kNone.
+  void select_for_point(int k, int fault_omega) {
+    slot_ = (fault_omega < 0 || fault_omega == k) ? requested_
+                                                  : FaultMode::kNone;
+  }
+
+ private:
+  FaultMode& slot_;
+  FaultMode requested_;
+};
+
 /// Recovery-ladder policy. Defaults enable every rung; individual rungs
 /// can be switched off for ablations (disabling quarantine restores the
 /// legacy throw-on-exhaustion behavior).

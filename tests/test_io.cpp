@@ -98,6 +98,45 @@ TEST_F(IoTest, TruncatedPayloadThrows) {
   EXPECT_THROW(load_matrix(path("t.bin")), Error);
 }
 
+TEST_F(IoTest, AtomicWriteSurvivesACrashMidBody) {
+  // Simulated torn write: the body throws halfway through. The previous
+  // contents at the final path must be untouched and no tmp file may be
+  // left behind — save_matrix/save_ks_snapshot route through this.
+  Rng rng(3);
+  la::Matrix<double> keep(9, 3);
+  for (std::size_t j = 0; j < 3; ++j) rng.fill_uniform(keep.col(j));
+  save_matrix(path("a.bin"), keep);
+
+  struct Boom {};
+  EXPECT_THROW(atomic_write(path("a.bin"),
+                            [](std::ostream& out) {
+                              out << "partial garbage";
+                              throw Boom{};
+                            }),
+               Boom);
+
+  la::Matrix<double> r = load_matrix(path("a.bin"));  // old file intact
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(r(i, j), keep(i, j));
+  for (const auto& entry : std::filesystem::directory_iterator(dir_))
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << "tmp residue: " << entry.path();
+}
+
+TEST_F(IoTest, AtomicWriteLeavesNoTmpFileOnSuccess) {
+  Rng rng(4);
+  la::Matrix<double> m(6, 2);
+  for (std::size_t j = 0; j < 2; ++j) rng.fill_uniform(m.col(j));
+  save_matrix(path("ok.bin"), m);
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
 TEST_F(IoTest, KsSnapshotRoundTripAndRestore) {
   rpa::SystemPreset preset = rpa::make_si_preset(1, false);
   preset.grid_per_cell = 7;

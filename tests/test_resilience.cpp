@@ -7,8 +7,10 @@
 // -DRSRPA_SANITIZE=address / =thread builds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "la/blas.hpp"
@@ -81,6 +83,37 @@ TEST(FaultInjection, ModeParsing) {
   EXPECT_EQ(fault_mode_from_string("perturb"), FaultMode::kPerturbMatvec);
   EXPECT_EQ(fault_mode_from_string("zero"), FaultMode::kZeroMatvec);
   EXPECT_THROW(fault_mode_from_string("bogus"), Error);
+}
+
+TEST(FaultModeScope, SelectsPerPointAndRestoresOnExit) {
+  FaultMode slot = FaultMode::kNanMatvec;
+  {
+    FaultModeScope scope(slot);
+    EXPECT_EQ(scope.requested(), FaultMode::kNanMatvec);
+    scope.select_for_point(1, 0);  // fault pinned to point 0: disarmed
+    EXPECT_EQ(slot, FaultMode::kNone);
+    scope.select_for_point(0, 0);  // the targeted point: armed
+    EXPECT_EQ(slot, FaultMode::kNanMatvec);
+    scope.select_for_point(5, -1);  // -1 targets every point
+    EXPECT_EQ(slot, FaultMode::kNanMatvec);
+    scope.select_for_point(2, 0);
+    EXPECT_EQ(slot, FaultMode::kNone);
+  }
+  // Regression: the drivers used to leave the live operator at whatever
+  // the last point selected; the guard must restore the requested mode.
+  EXPECT_EQ(slot, FaultMode::kNanMatvec);
+}
+
+TEST(FaultModeScope, RestoresOnTheExceptionPath) {
+  FaultMode slot = FaultMode::kZeroMatvec;
+  try {
+    FaultModeScope scope(slot);
+    scope.select_for_point(3, 0);
+    EXPECT_EQ(slot, FaultMode::kNone);
+    throw std::runtime_error("simulated crash mid-sweep");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(slot, FaultMode::kZeroMatvec);
 }
 
 TEST(FaultInjection, OneShotFaultFiresAtConfiguredApply) {
@@ -514,6 +547,62 @@ TEST_F(FaultDrillTest, RunParallelRpaSurvivesAFaultyQuadraturePoint) {
   EXPECT_GT(res.rpa.per_omega[0].quarantined_columns, 0);
   EXPECT_EQ(res.rpa.per_omega[1].quarantined_columns, 0);
   EXPECT_GE(res.rpa.events.count(obs::events::kQuadPointDegraded), 1u);
+}
+
+TEST_F(FaultDrillTest, QuarantinedColumnsAreReseededBeforeTheNextPoint) {
+  // Warm-start decontamination: point 0's quarantined V columns hold
+  // whatever the ladder froze them at; the driver must re-randomize them
+  // before point 1, so the poisoned omega never contaminates downstream
+  // records. Fixed blocking keeps the run deterministic.
+  auto& b = built();
+  rpa::RpaOptions opts = base_options();
+  opts.stern.dynamic_block = false;
+  opts.stern.fixed_block = 4;
+  add_point_fault(opts);
+
+  rpa::RpaResult res = rpa::compute_rpa_energy(b.ks, *b.klap, opts);
+
+  ASSERT_EQ(res.per_omega.size(), 3u);
+  const std::vector<long>& idx = res.per_omega[0].quarantined_column_indices;
+  ASSERT_FALSE(idx.empty());
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+  EXPECT_TRUE(std::adjacent_find(idx.begin(), idx.end()) == idx.end());
+  for (long c : idx) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, static_cast<long>(opts.n_eig));
+  }
+  // The raw count can exceed the distinct-column count (the same column
+  // can quarantine for several occupied orbitals).
+  EXPECT_GE(res.per_omega[0].quarantined_columns,
+            static_cast<long>(idx.size()));
+  EXPECT_GE(res.events.count(obs::events::kWarmStartReseed), 1u);
+  // Downstream of the reseed the run is clean: no quarantines, converged
+  // subspaces, no reseed events for the later points.
+  EXPECT_EQ(res.per_omega[1].quarantined_columns, 0);
+  EXPECT_EQ(res.per_omega[2].quarantined_columns, 0);
+  EXPECT_TRUE(res.per_omega[1].converged);
+  EXPECT_TRUE(res.per_omega[2].converged);
+  EXPECT_EQ(res.events.count(obs::events::kWarmStartReseed), 1u);
+}
+
+TEST_F(FaultDrillTest, MidSweepFaultOmegaArmsExactlyOnePoint) {
+  // Regression for the per-point fault toggle: arming the middle point
+  // exercises disarm -> arm -> disarm across the sweep (the scope guard
+  // owns the mutation now), and the reseed keeps point 2 clean.
+  auto& b = built();
+  rpa::RpaOptions opts = base_options();
+  opts.stern.dynamic_block = false;
+  opts.stern.fixed_block = 4;
+  add_point_fault(opts);
+  opts.fault_omega = 1;
+
+  rpa::RpaResult res = rpa::compute_rpa_energy(b.ks, *b.klap, opts);
+
+  ASSERT_EQ(res.per_omega.size(), 3u);
+  EXPECT_EQ(res.per_omega[0].quarantined_columns, 0);
+  EXPECT_GT(res.per_omega[1].quarantined_columns, 0);
+  EXPECT_EQ(res.per_omega[2].quarantined_columns, 0);
+  EXPECT_TRUE(res.per_omega[2].converged);
 }
 
 TEST_F(FaultDrillTest, LadderIsBitwiseInvisibleOnCleanRuns) {
