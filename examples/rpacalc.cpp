@@ -42,6 +42,17 @@
 //   RESUME      1 = pick the run up from CHECKPOINT when the file exists
 //               (missing file starts fresh; mismatched fingerprint refuses)
 // The --checkpoint <path> and --resume flags override these keys.
+//
+// The key -> options mapping lives in svc::parse_job — shared with the
+// rpaserved job daemon, so a config means the same thing standalone or
+// submitted to a server.
+//
+// SIGINT/SIGTERM request cooperative cancellation: the run stops at the
+// next quadrature-point boundary (where the previous point's checkpoint,
+// when enabled, is already durable) and rpacalc exits with status 3 —
+// distinct from success (0), non-convergence (1) and config errors (2) —
+// so an interrupted run is always resumable with --resume.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -50,9 +61,12 @@
 
 #include "common/config.hpp"
 #include "obs/event_log.hpp"
-#include "rpa/presets.hpp"
+#include "svc/job.hpp"
 
 namespace {
+
+rsrpa::rpa::RunControl g_control;
+void on_signal(int) { g_control.request_cancel(); }  // one atomic store
 
 void usage() {
   std::fprintf(stderr,
@@ -86,70 +100,28 @@ int main(int argc, char** argv) {
   }
 
   Config cfg;
+  svc::JobSpec spec;
   try {
     cfg = Config::parse_file(name + ".rpa");
+    spec = svc::parse_job(cfg);
   } catch (const Error& e) {
     std::fprintf(stderr, "rpacalc: %s\n", e.what());
     return 2;
   }
 
-  // Validate the fault mode before paying for the system build: a typo in
-  // a chaos-drill config should fail in milliseconds.
-  solver::FaultMode fault_mode = solver::FaultMode::kNone;
-  try {
-    fault_mode = solver::fault_mode_from_string(
-        cfg.has("FAULT_MODE") ? cfg.get_string("FAULT_MODE") : "none");
-  } catch (const Error& e) {
-    std::fprintf(stderr, "rpacalc: %s\n", e.what());
-    return 2;
-  }
-
-  rpa::SystemPreset preset;
-  preset.ncells = static_cast<std::size_t>(cfg.get_int_or("N_CELLS", 1));
-  preset.name = "Si" + std::to_string(8 * preset.ncells);
-  preset.grid_per_cell =
-      static_cast<std::size_t>(cfg.get_int_or("GRID_PER_CELL", 11));
-  preset.fd_radius = cfg.get_int_or("FD_RADIUS", 4);
-  preset.perturbation = cfg.get_double_or("PERTURBATION", 0.01);
-  preset.seed = static_cast<std::uint64_t>(cfg.get_int_or("SEED", 7));
-
+  const rpa::SystemPreset& preset = spec.preset;
   std::printf("rpacalc: building %s (n_d = %zu, n_s = %zu)\n",
               preset.name.c_str(), preset.n_grid(), preset.n_occ());
   rpa::BuiltSystem sys = rpa::build_system(preset);
 
-  rpa::RpaOptions opts = sys.default_rpa_options();
-  if (cfg.has("N_NUCHI_EIGS"))
-    opts.n_eig = static_cast<std::size_t>(cfg.get_int("N_NUCHI_EIGS"));
-  opts.ell = cfg.get_int_or("N_OMEGA", 8);
-  if (cfg.has("TOL_EIG")) opts.tol_eig = cfg.get_doubles("TOL_EIG");
-  opts.stern.tol = cfg.get_double_or("TOL_STERN_RES", 1e-2);
-  opts.max_filter_iter = cfg.get_int_or("MAXIT_FILTERING", 10);
-  opts.cheb_degree = cfg.get_int_or("CHEB_DEGREE_RPA", 2);
-  opts.stern.galerkin_guess = cfg.get_int_or("FLAG_COCGINITIAL", 1) != 0;
-
-  // Failure semantics: recovery ladder, stagnation detection, and the
-  // deterministic fault-injection harness (chaos drills / tests).
-  opts.stern.resilience.enabled = cfg.get_int_or("RESILIENCE", 1) != 0;
-  opts.stern.resilience.max_restarts = cfg.get_int_or("MAX_RESTARTS", 1);
-  opts.stern.stagnation_window = cfg.get_int_or("STAGNATION_WINDOW", 0);
-  opts.stern.stagnation_factor = cfg.get_double_or("STAGNATION_FACTOR", 0.99);
-  opts.stern.fault.mode = fault_mode;
-  opts.stern.fault.at_apply = cfg.get_int_or("FAULT_AT_APPLY", 1);
-  opts.stern.fault.period = cfg.get_int_or("FAULT_PERIOD", 0);
-  opts.stern.fault.max_faults = cfg.get_int_or("FAULT_MAX", 1);
-  opts.stern.fault.magnitude = cfg.get_double_or("FAULT_MAGNITUDE", 1e-2);
-  opts.stern.fault.orbital = cfg.get_int_or("FAULT_ORBITAL", -1);
-  opts.fault_omega = cfg.get_int_or("FAULT_OMEGA", -1);
-  if (cfg.has("FAULT_SEED"))
-    opts.stern.fault.seed = static_cast<std::uint64_t>(cfg.get_int("FAULT_SEED"));
+  rpa::RpaOptions opts = spec.options;
 
   // Crash-safe checkpoint/restart: flags override the .rpa keys. The
   // lifecycle events land in a process-local sink — they describe this
   // process's I/O, not the physics, and stay out of the result log.
   obs::EventLog ck_events;
-  if (checkpoint_path.empty() && cfg.has("CHECKPOINT"))
-    checkpoint_path = cfg.get_string("CHECKPOINT");
-  if (!resume_flag_set) resume = cfg.get_int_or("RESUME", 0) != 0;
+  if (checkpoint_path.empty()) checkpoint_path = spec.checkpoint;
+  if (!resume_flag_set) resume = spec.resume;
   if (!checkpoint_path.empty()) {
     opts.checkpoint.path = checkpoint_path;
     opts.checkpoint.resume = resume;
@@ -160,7 +132,29 @@ int main(int argc, char** argv) {
                 resume ? " (resuming if present)" : "");
   }
 
-  rpa::RpaResult res = rpa::compute_rpa_energy(sys.ks, *sys.klap, opts);
+  // Cooperative cancellation: Ctrl-C stops the run at the next
+  // quadrature-point boundary instead of killing it mid-solve.
+  opts.control = &g_control;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  rpa::RpaResult res;
+  try {
+    res = rpa::compute_rpa_energy(sys.ks, *sys.klap, opts);
+  } catch (const rpa::RunCancelled&) {
+    if (!checkpoint_path.empty()) {
+      std::size_t written = ck_events.count(obs::events::kCheckpointWritten);
+      std::fprintf(stderr,
+                   "rpacalc: interrupted at a quadrature-point boundary; "
+                   "%zu checkpoint(s) at %s — rerun with --resume\n",
+                   written, checkpoint_path.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "rpacalc: interrupted at a quadrature-point boundary "
+                   "(no CHECKPOINT configured, progress discarded)\n");
+    }
+    return 3;
+  }
 
   for (const obs::Event& e : ck_events.events())
     if (e.kind == obs::events::kRunResumed)

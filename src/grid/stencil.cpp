@@ -20,23 +20,21 @@ std::size_t env_tile(const char* name, std::size_t fallback) {
 
 }  // namespace
 
-bool fused_apply_enabled() {
-  static const bool on = [] {
-    const char* s = std::getenv("RSRPA_FUSED_APPLY");
-    return s == nullptr || std::string_view(s) != "0";
-  }();
-  return on;
+// Deliberately NOT latched in function-local statics: these are read per
+// StencilLaplacian construction, so every operator built in the process
+// picks up the current environment as its default and two in-process
+// jobs can still override each other independently through the
+// per-instance setters (set_fused_apply / set_fused_tiles). The old
+// read-once-and-freeze behavior made the first job's environment the
+// whole process's configuration.
+bool default_fused_apply() {
+  const char* s = std::getenv("RSRPA_FUSED_APPLY");
+  return s == nullptr || std::string_view(s) != "0";
 }
 
-std::size_t fused_tile_y() {
-  static const std::size_t v = env_tile("RSRPA_TILE_Y", 32);
-  return v;
-}
+std::size_t default_fused_tile_y() { return env_tile("RSRPA_TILE_Y", 32); }
 
-std::size_t fused_tile_z() {
-  static const std::size_t v = env_tile("RSRPA_TILE_Z", 16);
-  return v;
-}
+std::size_t default_fused_tile_z() { return env_tile("RSRPA_TILE_Z", 16); }
 
 double StencilLaplacian::min_eigenvalue_bound() const {
   // The periodic FD Laplacian is separable, so its spectrum is

@@ -42,12 +42,15 @@
 
 namespace rsrpa::grid {
 
-/// Global escape hatch: false when RSRPA_FUSED_APPLY=0 is set, restoring
-/// the reference wrap-table path everywhere (read once per process).
-[[nodiscard]] bool fused_apply_enabled();
-/// Cache-block extents of the fused sweep (RSRPA_TILE_Y / RSRPA_TILE_Z).
-[[nodiscard]] std::size_t fused_tile_y();
-[[nodiscard]] std::size_t fused_tile_z();
+/// Process-wide DEFAULTS for the fused-apply knobs, read from the
+/// environment at every call (never latched): RSRPA_FUSED_APPLY=0 selects
+/// the reference wrap-table path, RSRPA_TILE_Y / RSRPA_TILE_Z size the
+/// cache blocks. Each StencilLaplacian samples these at construction and
+/// carries its own copies, so concurrent jobs in one process configure
+/// their operators independently via set_fused_apply / set_fused_tiles.
+[[nodiscard]] bool default_fused_apply();
+[[nodiscard]] std::size_t default_fused_tile_y();
+[[nodiscard]] std::size_t default_fused_tile_z();
 
 /// Diagonal terms fused into a single stencil sweep:
 ///   out = alpha * Lap(in) + (beta * vdiag + shift) . in + eta * extra.
@@ -230,11 +233,31 @@ class StencilLaplacian {
   /// separable symbol. Used for Chebyshev bounds on H's spectrum.
   [[nodiscard]] double min_eigenvalue_bound() const;
 
+  /// Select the fused single-sweep path (default: the RSRPA_FUSED_APPLY
+  /// environment default sampled at construction).
+  void set_fused_apply(bool on) { fused_ = on; }
+  [[nodiscard]] bool fused_apply() const { return fused_; }
+
+  /// Cache-block extents of the fused sweep for THIS operator (defaults:
+  /// RSRPA_TILE_Y / RSRPA_TILE_Z sampled at construction). Tiling only
+  /// reorders the traversal — results are bitwise identical at any tile
+  /// size — so two in-process jobs may tune them independently.
+  void set_fused_tiles(std::size_t tile_y, std::size_t tile_z) {
+    RSRPA_REQUIRE_MSG(tile_y >= 1 && tile_z >= 1,
+                      "fused tile extents must be >= 1");
+    tile_y_ = tile_y;
+    tile_z_ = tile_z;
+  }
+  [[nodiscard]] std::size_t tile_y() const { return tile_y_; }
+  [[nodiscard]] std::size_t tile_z() const { return tile_z_; }
+
   /// out = Laplacian(in) for a single grid function. Dispatches to the
-  /// fused interior/boundary sweep unless RSRPA_FUSED_APPLY=0.
+  /// fused interior/boundary sweep unless this instance selected the
+  /// reference path (set_fused_apply(false) or RSRPA_FUSED_APPLY=0 at
+  /// construction).
   template <typename T>
   void apply(std::span<const T> in, std::span<T> out) const {
-    if (fused_apply_enabled()) {
+    if (fused_) {
       apply_fused<T>(in, out, FusedTerms<T>{});
     } else {
       apply_reference<T>(in, out);
@@ -279,8 +302,8 @@ class StencilLaplacian {
     const detail::StencilRowFn<T> interior_row =
         detail::pick_interior_row<T>(r);
     const bool epilogue = !t.identity();
-    const std::size_t ty = fused_tile_y();
-    const std::size_t tz = fused_tile_z();
+    const std::size_t ty = tile_y_;
+    const std::size_t tz = tile_z_;
 
     // One task per z chunk; rows (and therefore writes) are disjoint.
     constexpr std::size_t kElemsPerTask = 1u << 16;
@@ -445,6 +468,12 @@ class StencilLaplacian {
   std::vector<std::size_t> wrap_x_, wrap_y_, wrap_z_;
   std::vector<double> cx_, cy_, cz_;
   double diag_ = 0.0;
+  // Per-instance apply tuning, sampled from the environment at
+  // construction (process defaults) and overridable per operator so
+  // concurrent in-process jobs never share these knobs.
+  bool fused_ = default_fused_apply();
+  std::size_t tile_y_ = default_fused_tile_y();
+  std::size_t tile_z_ = default_fused_tile_z();
 };
 
 }  // namespace rsrpa::grid

@@ -49,10 +49,22 @@ class Hamiltonian {
   void set_local_potential(std::vector<double> v);
 
   /// Toggle the fused single-sweep path (default: on, unless
-  /// RSRPA_FUSED_APPLY=0). The reference path is the seed multi-sweep
-  /// schedule — kept selectable for equivalence tests and ablations.
-  void set_fused_apply(bool on) { fused_ = on; }
+  /// RSRPA_FUSED_APPLY=0 at construction). The reference path is the seed
+  /// multi-sweep schedule — kept selectable for equivalence tests and
+  /// ablations. Forwarded to the owned Laplacian so plain lap_.apply()
+  /// users of this operator see the same schedule. Per instance, never
+  /// process-global: two jobs in one process may disagree.
+  void set_fused_apply(bool on) {
+    fused_ = on;
+    lap_.set_fused_apply(on);
+  }
   [[nodiscard]] bool fused_apply() const { return fused_; }
+
+  /// Cache-block extents of the fused sweep for this operator (defaults
+  /// RSRPA_TILE_Y / RSRPA_TILE_Z at construction; bitwise-neutral).
+  void set_fused_tiles(std::size_t tile_y, std::size_t tile_z) {
+    lap_.set_fused_tiles(tile_y, tile_z);
+  }
 
   /// out = H in.
   template <typename T>
@@ -218,7 +230,7 @@ class Hamiltonian {
   ModelParams params_;
   std::vector<double> v_loc_;
   NonlocalProjectors nonlocal_;
-  bool fused_ = grid::fused_apply_enabled();
+  bool fused_ = grid::default_fused_apply();
   double upper_bound_ = 0.0;
   double lower_bound_ = 0.0;
 };

@@ -239,6 +239,7 @@ ParallelRpaResult run_parallel_rpa(const dft::KsSystem& sys,
 
   WallTimer total;
   for (int k = k0; k < ropts.ell; ++k) {
+    rpa::check_run_control(ropts.control);
     const rpa::QuadPoint& q = quad[static_cast<std::size_t>(k)];
     st.omega = q.omega;
     if (fault_scope.requested() != solver::FaultMode::kNone)

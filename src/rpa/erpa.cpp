@@ -102,6 +102,7 @@ RpaResult compute_rpa_energy(const dft::KsSystem& sys,
   solver::FaultModeScope fault_scope(op.chi0().options().fault.mode);
 
   for (int k = k0; k < opts.ell; ++k) {
+    check_run_control(opts.control);
     const QuadPoint& q = quad[static_cast<std::size_t>(k)];
     WallTimer omega_timer;
 

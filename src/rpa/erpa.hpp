@@ -9,6 +9,7 @@
 // over the n_eig most negative eigenvalues mu_a of nu chi0(i omega_k).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/rng.hpp"
@@ -24,6 +25,68 @@ namespace rsrpa::rpa {
 struct RunHalted : Error {
   using Error::Error;
 };
+
+/// Thrown at a quadrature-point boundary when RunControl::request_cancel
+/// was seen. Everything up to and including the last completed point is
+/// already checkpointed (when checkpointing is on), so the run is
+/// resumable; rpacalc maps this to its distinct "interrupted" exit code.
+struct RunCancelled : Error {
+  using Error::Error;
+};
+
+/// Thrown at a quadrature-point boundary when RunControl::request_preempt
+/// was seen: the suspend half of checkpoint-based preemption. The job
+/// service resumes the run later from its per-point checkpoint; resumed
+/// runs are bitwise identical to uninterrupted ones (PR 5 contract).
+struct RunPreempted : Error {
+  using Error::Error;
+};
+
+/// Cooperative run control, polled by both drivers at quadrature-point
+/// boundaries — the only places the run state is a small consistent cut
+/// (and where a checkpoint has just been written). Requests are sticky
+/// until reset; a cancel is never downgraded to a preempt. request_cancel
+/// is async-signal-safe (one lock-free atomic store), so rpacalc calls it
+/// straight from its SIGINT/SIGTERM handler.
+class RunControl {
+ public:
+  enum Request : int { kNone = 0, kPreempt = 1, kCancel = 2 };
+
+  void request_cancel() {
+    request_.store(kCancel, std::memory_order_release);
+  }
+  /// No-op when a cancel is already pending (cancel outranks preempt).
+  void request_preempt() {
+    int expected = kNone;
+    request_.compare_exchange_strong(expected, kPreempt,
+                                     std::memory_order_acq_rel);
+  }
+  [[nodiscard]] Request pending() const {
+    return static_cast<Request>(request_.load(std::memory_order_acquire));
+  }
+  void reset() { request_.store(kNone, std::memory_order_release); }
+
+ private:
+  static_assert(std::atomic<int>::is_always_lock_free,
+                "RunControl must stay signal-safe");
+  std::atomic<int> request_{kNone};
+};
+
+/// The drivers' boundary poll: throw the matching control exception, or
+/// return immediately when `control` is null / nothing is pending. Called
+/// at the top of each quadrature-point iteration, so the previous point's
+/// checkpoint (when enabled) is already on disk when this fires.
+inline void check_run_control(const RunControl* control) {
+  if (control == nullptr) return;
+  switch (control->pending()) {
+    case RunControl::kCancel:
+      throw RunCancelled("run cancelled at quadrature-point boundary");
+    case RunControl::kPreempt:
+      throw RunPreempted("run preempted at quadrature-point boundary");
+    case RunControl::kNone:
+      break;
+  }
+}
 
 /// Run-granularity crash recovery (io/checkpoint.hpp). With `path` set,
 /// the drivers persist a versioned RunCheckpoint after every quadrature
@@ -69,6 +132,11 @@ struct RpaOptions {
   /// from the config fingerprint: where a run checkpoints (and whether
   /// it resumes) is process policy, not part of the computation.
   CheckpointOptions checkpoint;
+  /// Cooperative cancel/preempt, polled at the top of every quadrature
+  /// point (after the previous point's checkpoint hit disk). Like
+  /// `checkpoint`, process policy — excluded from the fingerprint. Not
+  /// owned; may be shared with a signal handler or the job service.
+  RunControl* control = nullptr;
 };
 
 struct OmegaRecord {

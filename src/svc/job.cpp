@@ -1,0 +1,88 @@
+#include "svc/job.hpp"
+
+namespace rsrpa::svc {
+
+JobSpec parse_job(const Config& cfg) {
+  JobSpec spec;
+
+  // Validate the fault mode before anything else: a typo in a chaos-drill
+  // config should fail in milliseconds, not after a system build.
+  const solver::FaultMode fault_mode = solver::fault_mode_from_string(
+      cfg.has("FAULT_MODE") ? cfg.get_string("FAULT_MODE") : "none");
+
+  rpa::SystemPreset& preset = spec.preset;
+  preset.ncells = static_cast<std::size_t>(cfg.get_int_or("N_CELLS", 1));
+  preset.name = "Si" + std::to_string(8 * preset.ncells);
+  preset.grid_per_cell =
+      static_cast<std::size_t>(cfg.get_int_or("GRID_PER_CELL", 11));
+  if (cfg.has("N_EIG_PER_ATOM"))
+    preset.n_eig_per_atom =
+        static_cast<std::size_t>(cfg.get_int("N_EIG_PER_ATOM"));
+  preset.fd_radius = cfg.get_int_or("FD_RADIUS", 4);
+  preset.perturbation = cfg.get_double_or("PERTURBATION", 0.01);
+  preset.seed = static_cast<std::uint64_t>(cfg.get_int_or("SEED", 7));
+  // Per-job apply tuning (satellite of the multi-tenant work): resolved
+  // per Hamiltonian instance in build_system, never latched process-wide.
+  preset.fused_apply = cfg.get_int_or("FUSED_APPLY", -1);
+  preset.tile_y = static_cast<std::size_t>(cfg.get_int_or("TILE_Y", 0));
+  preset.tile_z = static_cast<std::size_t>(cfg.get_int_or("TILE_Z", 0));
+
+  rpa::RpaOptions& opts = spec.options;
+  // Keep in lockstep with BuiltSystem::default_rpa_options: same defaults,
+  // but resolvable from the preset alone (no system build needed to know
+  // what a job will do).
+  opts.n_eig = preset.n_eig();
+  opts.ell = 8;
+  opts.stern.tol = 1e-2;
+  opts.cheb_degree = 2;
+  opts.max_filter_iter = 10;
+
+  if (cfg.has("N_NUCHI_EIGS"))
+    opts.n_eig = static_cast<std::size_t>(cfg.get_int("N_NUCHI_EIGS"));
+  opts.ell = cfg.get_int_or("N_OMEGA", opts.ell);
+  if (cfg.has("TOL_EIG")) opts.tol_eig = cfg.get_doubles("TOL_EIG");
+  opts.stern.tol = cfg.get_double_or("TOL_STERN_RES", opts.stern.tol);
+  opts.max_filter_iter =
+      cfg.get_int_or("MAXIT_FILTERING", opts.max_filter_iter);
+  opts.cheb_degree = cfg.get_int_or("CHEB_DEGREE_RPA", opts.cheb_degree);
+  opts.stern.galerkin_guess = cfg.get_int_or("FLAG_COCGINITIAL", 1) != 0;
+  // Algorithm 4 block sizing is wall-clock-driven; jobs that must be
+  // bitwise reproducible (the soak bench's standalone-equality check) pin
+  // DYNAMIC_BLOCK: 0 with a fixed BLOCK_SIZE.
+  opts.stern.dynamic_block = cfg.get_int_or("DYNAMIC_BLOCK", 1) != 0;
+  opts.stern.fixed_block =
+      cfg.get_int_or("BLOCK_SIZE", opts.stern.fixed_block);
+
+  // Failure semantics: recovery ladder, stagnation detection, and the
+  // deterministic fault-injection harness (chaos drills / soak tests).
+  opts.stern.resilience.enabled = cfg.get_int_or("RESILIENCE", 1) != 0;
+  opts.stern.resilience.max_restarts = cfg.get_int_or("MAX_RESTARTS", 1);
+  opts.stern.stagnation_window = cfg.get_int_or("STAGNATION_WINDOW", 0);
+  opts.stern.stagnation_factor = cfg.get_double_or("STAGNATION_FACTOR", 0.99);
+  opts.stern.fault.mode = fault_mode;
+  opts.stern.fault.at_apply = cfg.get_int_or("FAULT_AT_APPLY", 1);
+  opts.stern.fault.period = cfg.get_int_or("FAULT_PERIOD", 0);
+  opts.stern.fault.max_faults = cfg.get_int_or("FAULT_MAX", 1);
+  opts.stern.fault.magnitude = cfg.get_double_or("FAULT_MAGNITUDE", 1e-2);
+  opts.stern.fault.orbital = cfg.get_int_or("FAULT_ORBITAL", -1);
+  opts.fault_omega = cfg.get_int_or("FAULT_OMEGA", -1);
+  if (cfg.has("FAULT_SEED"))
+    opts.stern.fault.seed =
+        static_cast<std::uint64_t>(cfg.get_int("FAULT_SEED"));
+
+  // Service-level keys. The checkpoint pair is advisory for rpacalc; the
+  // job service always pins a job's checkpoint to its spool directory.
+  spec.priority = cfg.get_int_or("PRIORITY", 0);
+  spec.quota = cfg.get_int_or("THREADS", 0);
+  RSRPA_REQUIRE_MSG(spec.quota >= 0, "THREADS must be >= 0");
+  if (cfg.has("CHECKPOINT")) spec.checkpoint = cfg.get_string("CHECKPOINT");
+  spec.resume = cfg.get_int_or("RESUME", 0) != 0;
+
+  return spec;
+}
+
+JobSpec parse_job_file(const std::string& path) {
+  return parse_job(Config::parse_file(path));
+}
+
+}  // namespace rsrpa::svc

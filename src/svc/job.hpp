@@ -1,0 +1,51 @@
+// Job descriptions for the multi-tenant RPA job service.
+//
+// A job is one `.rpa` config (common/config.hpp — the same artifact
+// key-value format rpacalc reads) mapped onto a SystemPreset + RpaOptions
+// pair, plus the service-level keys that rpacalc ignores:
+//
+//   PRIORITY     scheduling priority; higher runs first   (default 0)
+//   THREADS      per-job task quota on the shared pool; 0 = uncapped
+//                (sched::TaskQuotaScope semantics — a cap on in-flight
+//                tasks, never a pool resize; bitwise-safe)
+//   FUSED_APPLY  0 = reference multi-sweep apply, 1 = fused single-sweep;
+//                unset inherits the process default (RSRPA_FUSED_APPLY)
+//   TILE_Y       fused-sweep cache-block extents for this job's operator;
+//   TILE_Z       unset/0 inherits RSRPA_TILE_Y / RSRPA_TILE_Z
+//   DYNAMIC_BLOCK  1 = Algorithm 4 timing-driven block sizing (default);
+//                  0 = fixed BLOCK_SIZE — required for bitwise-reproducible
+//                  runs (the dynamic path keys off wall clock)
+//   BLOCK_SIZE   Sternheimer block size when DYNAMIC_BLOCK is 0
+//
+// parse_job is the single .rpa -> options mapping in the tree: rpacalc
+// and the job service both call it, so a config means the same thing run
+// standalone or submitted to a server — which is what makes the soak
+// bench's "every job matches its standalone run bitwise" check possible.
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "rpa/presets.hpp"
+
+namespace rsrpa::svc {
+
+struct JobSpec {
+  rpa::SystemPreset preset;
+  rpa::RpaOptions options;     ///< fully resolved (n_eig filled from preset)
+  int priority = 0;            ///< higher = scheduled first
+  int quota = 0;               ///< per-job task quota; 0 = uncapped
+  std::string checkpoint;      ///< CHECKPOINT key; the service overrides
+  bool resume = false;         ///< RESUME key
+};
+
+/// Map a parsed .rpa config onto a JobSpec. Defaults mirror
+/// BuiltSystem::default_rpa_options so an empty config reproduces the
+/// preset run exactly. Throws Error on malformed values (e.g. an unknown
+/// FAULT_MODE) — validation happens here, before any system is built.
+JobSpec parse_job(const Config& cfg);
+
+/// Convenience: parse the .rpa file at `path`. Throws Error if unreadable.
+JobSpec parse_job_file(const std::string& path);
+
+}  // namespace rsrpa::svc

@@ -1,0 +1,126 @@
+// JobService — the multi-tenant RPA job scheduler behind rpaserved.
+//
+// One service owns one Spool and runs jobs on the process-wide sched
+// pool. Tenancy is cooperative, built from three primitives this PR's
+// satellite fixes made safe to combine:
+//
+//   isolation    every job gets its own Hamiltonian/system with per-
+//                instance apply tuning (grid/stencil.hpp) — no latched
+//                process-global configuration to fight over;
+//   fair share   sched::TaskQuotaScope caps how many tasks a job's
+//                parallel regions keep in flight on the shared pool —
+//                a throughput cap, not a pool resize, and bitwise-safe;
+//   preemption   rpa::RunControl::request_preempt makes the run throw
+//                RunPreempted at the next quadrature-point boundary,
+//                where the previous point's io::RunCheckpoint is already
+//                on disk; the job goes back in the queue and a later
+//                slot resumes it bitwise-identically (PR 5 contract).
+//
+// Scheduling: strict priority, FIFO within a priority (arrival seq).
+// When every slot is busy and a strictly higher-priority job waits, the
+// dispatcher preempts the lowest-priority running job. Preemption is
+// only requested — latency is up to one quadrature point, by design
+// (see DESIGN.md: a quadrature boundary is the only consistent cut).
+//
+// Threads: one dispatcher (inbox/cancel polling, reaping, scheduling) +
+// one runner thread per running job. Runner threads never join
+// themselves: they flag completion and the dispatcher reaps them.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpa/erpa.hpp"
+#include "svc/job.hpp"
+#include "svc/spool.hpp"
+
+namespace rsrpa::svc {
+
+struct ServiceOptions {
+  std::string root;      ///< spool root directory (required)
+  int slots = 2;         ///< max concurrently running jobs
+  int default_quota = 0; ///< task quota for jobs without THREADS; 0 = uncapped
+  int poll_ms = 25;      ///< dispatcher poll period (inbox, cancel markers)
+};
+
+class JobService {
+ public:
+  /// Opens (or creates) the spool, re-queues every non-terminal job left
+  /// by a previous daemon (crash recovery — their checkpoints resume),
+  /// and starts the dispatcher.
+  explicit JobService(ServiceOptions opts);
+  /// shutdown(true) if the caller did not shut down explicitly.
+  ~JobService();
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  /// Submit a config directly (no inbox round-trip); returns the job id.
+  std::string submit(const std::string& name, const std::string& rpa_text);
+
+  /// Cooperative cancel: a queued job is dropped immediately; a running
+  /// job stops at its next quadrature-point boundary (state: cancelled,
+  /// checkpoint kept, so a re-submitted copy could resume it).
+  void cancel(const std::string& id);
+
+  /// Block until no job is queued or running. Returns immediately when
+  /// the service is already idle.
+  void wait_idle();
+
+  /// Stop the dispatcher and all runners. With `preempt_running`, running
+  /// jobs are suspended at their next boundary and left in the spool as
+  /// `preempted` — a new JobService on the same root resumes them;
+  /// otherwise running jobs are allowed to finish. Idempotent.
+  void shutdown(bool preempt_running = true);
+
+  [[nodiscard]] Spool& spool() { return spool_; }
+  /// Live status snapshot (from memory, not a status.json re-read).
+  [[nodiscard]] JobStatus status(const std::string& id) const;
+  [[nodiscard]] std::vector<std::string> job_ids() const;
+  /// Total preemptions served since construction (soak telemetry).
+  [[nodiscard]] int preemption_count() const;
+
+ private:
+  struct Job {
+    JobSpec spec;
+    JobStatus status;
+    rpa::RunControl control;
+    std::thread runner;
+    bool thread_done = false;   ///< runner finished; safe to join
+    bool preempt_requested = false;
+    std::chrono::steady_clock::time_point enqueued_at{};
+  };
+
+  void dispatcher_loop();
+  void reap_locked();
+  void ingest_locked(const std::vector<std::string>& ids);
+  void check_cancels_locked();
+  void schedule_locked();
+  void start_job_locked(Job& job);
+  void run_job(Job& job);   ///< runner-thread body (takes the lock itself)
+  [[nodiscard]] bool idle_locked() const;
+  [[nodiscard]] Job* find_locked(const std::string& id) const;
+
+  ServiceOptions opts_;
+  Spool spool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// All jobs this service knows, by arrival. Stable addresses (unique_ptr)
+  /// because runners hold their Job* across the unlocked compute.
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::vector<Job*> pending_;   ///< queued, sorted (priority desc, seq asc)
+  int running_ = 0;
+  long next_seq_ = 0;
+  int preemptions_total_ = 0;
+  bool stop_ = false;
+  bool shut_down_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace rsrpa::svc

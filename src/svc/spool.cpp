@@ -1,0 +1,172 @@
+#include "svc/spool.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "io/snapshot.hpp"
+
+namespace fs = std::filesystem;
+
+namespace rsrpa::svc {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kPreempted: return "preempted";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobState job_state_from_string(const std::string& s) {
+  if (s == "queued") return JobState::kQueued;
+  if (s == "running") return JobState::kRunning;
+  if (s == "preempted") return JobState::kPreempted;
+  if (s == "done") return JobState::kDone;
+  if (s == "failed") return JobState::kFailed;
+  if (s == "cancelled") return JobState::kCancelled;
+  throw Error("unknown job state: " + s);
+}
+
+obs::Json to_json(const JobStatus& st) {
+  obs::Json j = obs::Json::object();
+  j["schema"] = kStatusSchema;
+  j["id"] = st.id;
+  j["state"] = to_string(st.state);
+  j["priority"] = st.priority;
+  j["quota"] = st.quota;
+  j["seq"] = st.seq;
+  j["preemptions"] = st.preemptions;
+  j["resumes"] = st.resumes;
+  j["queue_seconds"] = st.queue_seconds;
+  j["run_seconds"] = st.run_seconds;
+  j["e_rpa"] = st.e_rpa;
+  j["converged"] = st.converged;
+  j["degraded"] = st.degraded;
+  j["error"] = st.error;
+  return j;
+}
+
+JobStatus job_status_from_json(const obs::Json& j) {
+  RSRPA_REQUIRE_MSG(j.at("schema").as_string() == kStatusSchema,
+                    "unsupported job status schema: " +
+                        j.at("schema").as_string());
+  JobStatus st;
+  st.id = j.at("id").as_string();
+  st.state = job_state_from_string(j.at("state").as_string());
+  st.priority = static_cast<int>(j.at("priority").as_int());
+  st.quota = static_cast<int>(j.at("quota").as_int());
+  st.seq = static_cast<long>(j.at("seq").as_int());
+  st.preemptions = static_cast<int>(j.at("preemptions").as_int());
+  st.resumes = static_cast<int>(j.at("resumes").as_int());
+  st.queue_seconds = j.at("queue_seconds").as_double();
+  st.run_seconds = j.at("run_seconds").as_double();
+  st.e_rpa = j.at("e_rpa").as_double();
+  st.converged = j.at("converged").as_bool();
+  st.degraded = j.at("degraded").as_bool();
+  st.error = j.at("error").as_string();
+  return st;
+}
+
+Spool::Spool(std::string root) : root_(std::move(root)) {
+  RSRPA_REQUIRE_MSG(!root_.empty(), "spool root must not be empty");
+  std::error_code ec;
+  fs::create_directories(inbox_dir(), ec);
+  RSRPA_REQUIRE_MSG(!ec, "cannot create spool inbox: " + inbox_dir());
+  fs::create_directories(root_ + "/jobs", ec);
+  RSRPA_REQUIRE_MSG(!ec, "cannot create spool jobs dir: " + root_ + "/jobs");
+}
+
+std::string Spool::inbox_dir() const { return root_ + "/inbox"; }
+std::string Spool::job_dir(const std::string& id) const {
+  return root_ + "/jobs/" + id;
+}
+std::string Spool::job_file(const std::string& id) const {
+  return job_dir(id) + "/job.rpa";
+}
+std::string Spool::status_file(const std::string& id) const {
+  return job_dir(id) + "/status.json";
+}
+std::string Spool::checkpoint_file(const std::string& id) const {
+  return job_dir(id) + "/checkpoint.ckpt";
+}
+std::string Spool::report_file(const std::string& id) const {
+  return job_dir(id) + "/report.json";
+}
+std::string Spool::cancel_file(const std::string& id) const {
+  return job_dir(id) + "/cancel";
+}
+
+std::string Spool::unique_id(const std::string& stem) const {
+  std::string id = stem.empty() ? std::string("job") : stem;
+  if (!fs::exists(job_dir(id))) return id;
+  for (int n = 2;; ++n) {
+    std::string candidate = id + "-" + std::to_string(n);
+    if (!fs::exists(job_dir(candidate))) return candidate;
+  }
+}
+
+std::vector<std::string> Spool::poll_inbox() {
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& e : fs::directory_iterator(inbox_dir()))
+    if (e.is_regular_file() && e.path().extension() == ".rpa")
+      files.push_back(e.path());
+  std::sort(files.begin(), files.end());
+
+  std::vector<std::string> ids;
+  for (const fs::path& p : files) {
+    const std::string id = unique_id(p.stem().string());
+    std::error_code ec;
+    fs::create_directories(job_dir(id), ec);
+    RSRPA_REQUIRE_MSG(!ec, "cannot create job dir: " + job_dir(id));
+    fs::rename(p, job_file(id), ec);
+    RSRPA_REQUIRE_MSG(!ec, "cannot move " + p.string() + " into spool");
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::string Spool::create_job(const std::string& name,
+                              const std::string& rpa_text) {
+  const std::string id = unique_id(name);
+  std::error_code ec;
+  fs::create_directories(job_dir(id), ec);
+  RSRPA_REQUIRE_MSG(!ec, "cannot create job dir: " + job_dir(id));
+  io::atomic_write(job_file(id),
+                   [&](std::ostream& out) { out << rpa_text; });
+  return id;
+}
+
+std::vector<std::string> Spool::list_jobs() const {
+  std::vector<std::string> ids;
+  const fs::path jobs = root_ + "/jobs";
+  for (const fs::directory_entry& e : fs::directory_iterator(jobs))
+    if (e.is_directory()) ids.push_back(e.path().filename().string());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void Spool::write_status(const JobStatus& st) const {
+  const obs::Json j = to_json(st);
+  io::atomic_write(status_file(st.id),
+                   [&](std::ostream& out) { out << j.dump(2) << "\n"; });
+}
+
+JobStatus Spool::read_status(const std::string& id) const {
+  return job_status_from_json(obs::read_json_file(status_file(id)));
+}
+
+bool Spool::has_status(const std::string& id) const {
+  return fs::exists(status_file(id));
+}
+
+bool Spool::cancel_requested(const std::string& id) const {
+  return fs::exists(cancel_file(id));
+}
+
+}  // namespace rsrpa::svc

@@ -1,0 +1,104 @@
+// The job service's on-disk state: a filesystem inbox plus one spool
+// directory per job. Everything the daemon knows survives a crash here.
+//
+//   <root>/inbox/<name>.rpa          submission: drop a config, it runs
+//   <root>/jobs/<id>/job.rpa         the config, moved out of the inbox
+//   <root>/jobs/<id>/status.json     rsrpa.svc_status/1 (atomic replace)
+//   <root>/jobs/<id>/checkpoint.ckpt io::RunCheckpoint, written after
+//                                    every quadrature point — the
+//                                    suspend/resume primitive behind
+//                                    preemption AND daemon crash recovery
+//   <root>/jobs/<id>/report.json     obs::RunReport of the finished run
+//   <root>/jobs/<id>/cancel          marker: polled cooperative cancel
+//
+// status.json is the service's only source of truth about a job's
+// lifecycle; it is written with io::atomic_write so a crash can never
+// leave a torn status, and a restarted daemon re-queues every job whose
+// state is not terminal (done/failed/cancelled) — resume picks runs back
+// up from their checkpoints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace rsrpa::svc {
+
+inline constexpr const char* kStatusSchema = "rsrpa.svc_status/1";
+
+/// Lifecycle states. queued/running/preempted are live (a restarted
+/// daemon re-queues them); done/failed/cancelled are terminal.
+enum class JobState { kQueued, kRunning, kPreempted, kDone, kFailed,
+                      kCancelled };
+
+const char* to_string(JobState s);
+JobState job_state_from_string(const std::string& s);
+
+/// The status.json payload. Counters accumulate across preemptions and
+/// daemon restarts; timing fields are informational (wall-clock, not part
+/// of any bitwise contract).
+struct JobStatus {
+  std::string id;
+  JobState state = JobState::kQueued;
+  int priority = 0;
+  int quota = 0;            ///< per-job task quota (0 = uncapped)
+  long seq = 0;             ///< arrival order; FIFO tiebreak within priority
+  int preemptions = 0;      ///< times suspended at a quadrature boundary
+  int resumes = 0;          ///< times (re)started from an existing checkpoint
+  double queue_seconds = 0.0;  ///< total time spent waiting for a slot
+  double run_seconds = 0.0;    ///< total time spent computing
+  double e_rpa = 0.0;          ///< valid when state == done
+  bool converged = false;
+  bool degraded = false;
+  std::string error;           ///< valid when state == failed
+};
+
+obs::Json to_json(const JobStatus& st);
+JobStatus job_status_from_json(const obs::Json& j);
+
+/// Filesystem layout manager. Construction creates <root>/inbox and
+/// <root>/jobs. All methods are const w.r.t. in-memory state; the
+/// interesting mutations happen on disk. Not internally synchronized —
+/// the service serializes access under its own lock.
+class Spool {
+ public:
+  explicit Spool(std::string root);
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+  [[nodiscard]] std::string inbox_dir() const;
+  [[nodiscard]] std::string job_dir(const std::string& id) const;
+  [[nodiscard]] std::string job_file(const std::string& id) const;
+  [[nodiscard]] std::string status_file(const std::string& id) const;
+  [[nodiscard]] std::string checkpoint_file(const std::string& id) const;
+  [[nodiscard]] std::string report_file(const std::string& id) const;
+  [[nodiscard]] std::string cancel_file(const std::string& id) const;
+
+  /// Move every inbox/*.rpa into a fresh job directory (id = file stem,
+  /// uniquified with -2, -3, ... on collision). Returns the new ids in
+  /// lexicographic inbox order. Files still being written are the
+  /// submitter's problem: rename within one filesystem is atomic, so the
+  /// convention is to write elsewhere and rename into the inbox.
+  std::vector<std::string> poll_inbox();
+
+  /// Create a job directly (tests/bench path: no inbox round-trip).
+  /// Returns the uniquified id.
+  std::string create_job(const std::string& name, const std::string& rpa_text);
+
+  /// All job ids present under <root>/jobs, sorted.
+  [[nodiscard]] std::vector<std::string> list_jobs() const;
+
+  /// Atomic status replacement (tmp + fsync + rename).
+  void write_status(const JobStatus& st) const;
+  /// Throws Error when the file is missing or malformed.
+  [[nodiscard]] JobStatus read_status(const std::string& id) const;
+  [[nodiscard]] bool has_status(const std::string& id) const;
+
+  [[nodiscard]] bool cancel_requested(const std::string& id) const;
+
+ private:
+  [[nodiscard]] std::string unique_id(const std::string& stem) const;
+  std::string root_;
+};
+
+}  // namespace rsrpa::svc
