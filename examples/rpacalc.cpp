@@ -8,6 +8,7 @@
 //   ./examples/rpacalc -name Si8 --checkpoint Si8.ckpt --resume
 //
 // Recognized keys (artifact keys first, same semantics):
+//   METHOD           sternheimer|direct|isdf|slq backend   (default sternheimer)
 //   N_NUCHI_EIGS     total eigenvalues of nu chi0 to converge
 //   N_OMEGA          quadrature points (Table II scheme)
 //   TOL_EIG          per-omega subspace tolerances (list)
@@ -36,16 +37,32 @@
 //   FAULT_OMEGA        quadrature point to hit; -1 = all
 //   FAULT_SEED         RNG base for perturbed matvecs
 //
+// Backend keys (docs/REPRODUCING.md, "Choosing a backend"):
+//   DIRECT_FULL_TRACE  1 = full-spectrum trace (default); 0 truncates the
+//                      direct trace to N_NUCHI_EIGS per omega
+//   ISDF_NIP / ISDF_C  interpolation-point count, absolute or as c * n_occ
+//   ISDF_OVERSAMPLE    extra sketch columns per side        (default 4)
+//   ISDF_RIDGE         initial Gram-fit ridge               (default 0)
+//   ISDF_SEED          sketch RNG seed
+//   ISDF_FULL_TRACE    1 = whole compressed spectrum; default truncates
+//                      like the Sternheimer driver
+//   SLQ_PROBES / SLQ_LANCZOS_STEPS / SLQ_SEED  stochastic trace knobs
+//
 // Checkpoint/restart keys (docs/REPRODUCING.md, "Checkpoint and resume"):
 //   CHECKPOINT  path of the run checkpoint, written atomically after every
 //               quadrature point (default: off)
 //   RESUME      1 = pick the run up from CHECKPOINT when the file exists
 //               (missing file starts fresh; mismatched fingerprint refuses)
 // The --checkpoint <path> and --resume flags override these keys.
+// Checkpointing is Sternheimer-only; with another METHOD the keys are
+// accepted but ignored (a warning is printed) and an interrupted run
+// restarts from scratch.
 //
-// The key -> options mapping lives in svc::parse_job — shared with the
-// rpaserved job daemon, so a config means the same thing standalone or
-// submitted to a server.
+// The key -> options mapping lives in svc::parse_job and the METHOD
+// dispatch in svc::run_driver — both shared with the rpaserved job
+// daemon, so a config means the same thing standalone or submitted to a
+// server. Besides <name>.out, every run writes the backend's structured
+// run report to <name>.report.json (schema: docs/REPRODUCING.md).
 //
 // SIGINT/SIGTERM request cooperative cancellation: the run stops at the
 // next quadrature-point boundary (where the previous point's checkpoint,
@@ -61,6 +78,8 @@
 
 #include "common/config.hpp"
 #include "obs/event_log.hpp"
+#include "obs/run_report.hpp"
+#include "svc/driver.hpp"
 #include "svc/job.hpp"
 
 namespace {
@@ -122,6 +141,16 @@ int main(int argc, char** argv) {
   obs::EventLog ck_events;
   if (checkpoint_path.empty()) checkpoint_path = spec.checkpoint;
   if (!resume_flag_set) resume = spec.resume;
+  if (!checkpoint_path.empty() && spec.method != svc::Method::kSternheimer) {
+    // Only the Sternheimer driver has resumable per-point state; the
+    // other backends recompute from scratch, so a checkpoint would be
+    // dead weight. Accept the config but say so.
+    std::fprintf(stderr,
+                 "rpacalc: warning: METHOD %s does not checkpoint; "
+                 "ignoring %s\n",
+                 svc::method_name(spec.method), checkpoint_path.c_str());
+    checkpoint_path.clear();
+  }
   if (!checkpoint_path.empty()) {
     opts.checkpoint.path = checkpoint_path;
     opts.checkpoint.resume = resume;
@@ -138,9 +167,9 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
-  rpa::RpaResult res;
+  svc::DriverRun run;
   try {
-    res = rpa::compute_rpa_energy(sys.ks, *sys.klap, opts);
+    run = svc::run_driver(spec, sys, opts, &g_control);
   } catch (const rpa::RunCancelled&) {
     if (!checkpoint_path.empty()) {
       std::size_t written = ck_events.count(obs::events::kCheckpointWritten);
@@ -171,23 +200,39 @@ int main(int argc, char** argv) {
     out << key << ": " << cfg.get_string(key) << "\n";
   out << "\n";
   char line[256];
-  for (std::size_t k = 0; k < res.per_omega.size(); ++k) {
-    const rpa::OmegaRecord& r = res.per_omega[k];
-    std::snprintf(line, sizeof line,
-                  "omega %zu (value %.3f, weight %.3f)\n"
-                  "ncheb %d | ErpaTerm %.5E Ha | eig error %.3E | %.2f s\n",
-                  k + 1, r.omega, r.weight, r.filter_iterations, r.e_term,
-                  r.error, r.seconds);
-    out << line;
+  if (run.has_rpa) {
+    // The original artifact-style per-omega rows, byte-for-byte — the
+    // quickstart reference output depends on this format.
+    for (std::size_t k = 0; k < run.rpa.per_omega.size(); ++k) {
+      const rpa::OmegaRecord& r = run.rpa.per_omega[k];
+      std::snprintf(line, sizeof line,
+                    "omega %zu (value %.3f, weight %.3f)\n"
+                    "ncheb %d | ErpaTerm %.5E Ha | eig error %.3E | %.2f s\n",
+                    k + 1, r.omega, r.weight, r.filter_iterations, r.e_term,
+                    r.error, r.seconds);
+      out << line;
+    }
+  } else {
+    // The other backends have no filter/residual columns; print the
+    // backend-agnostic row (the extras live in <name>.report.json).
+    out << "method: " << svc::method_name(run.method) << "\n";
+    for (std::size_t k = 0; k < run.per_omega.size(); ++k) {
+      const svc::DriverOmegaRow& r = run.per_omega[k];
+      std::snprintf(line, sizeof line,
+                    "omega %zu (value %.3f, weight %.3f)\n"
+                    "ErpaTerm %.5E Ha | %.2f s\n",
+                    k + 1, r.omega, r.weight, r.e_term, r.seconds);
+      out << line;
+    }
   }
   std::snprintf(line, sizeof line,
                 "\nTotal RPA correlation energy: %.5E (Ha), %.5E (Ha/atom)\n"
                 "Total walltime: %.3f sec\n",
-                res.e_rpa, res.e_rpa_per_atom, res.total_seconds);
+                run.e_rpa, run.e_rpa_per_atom, run.total_seconds);
   out << line;
-  if (res.degraded) {
+  if (run.has_rpa && run.degraded) {
     long quarantined = 0;
-    for (const rpa::OmegaRecord& r : res.per_omega)
+    for (const rpa::OmegaRecord& r : run.rpa.per_omega)
       quarantined += r.quarantined_columns;
     std::snprintf(line, sizeof line,
                   "WARNING: degraded run — %ld Sternheimer column(s) "
@@ -200,5 +245,18 @@ int main(int argc, char** argv) {
   f << out.str();
   std::fputs(out.str().c_str(), stdout);
   std::printf("rpacalc: wrote %s.out\n", name.c_str());
-  return res.converged ? 0 : 1;
+
+  // The machine-readable counterpart: the backend's full run report under
+  // its method-name key, same layout the job service persists.
+  try {
+    obs::RunReport report(name);
+    report.set("method", obs::Json(svc::method_name(run.method)));
+    report.set(svc::method_name(run.method), run.report);
+    report.write(name + ".report.json");
+    std::printf("rpacalc: wrote %s.report.json\n", name.c_str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "rpacalc: failed to write %s.report.json: %s\n",
+                 name.c_str(), e.what());
+  }
+  return run.converged ? 0 : 1;
 }

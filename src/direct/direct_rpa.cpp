@@ -10,7 +10,9 @@ namespace rsrpa::direct {
 DirectRpaResult compute_direct_rpa(const ham::Hamiltonian& h,
                                    std::size_t n_occ,
                                    const poisson::KroneckerLaplacian& klap,
-                                   int ell, bool keep_spectra) {
+                                   int ell, bool keep_spectra,
+                                   std::size_t n_keep,
+                                   const rpa::RunControl* control) {
   DirectRpaResult out;
   WallTimer total;
 
@@ -21,10 +23,15 @@ DirectRpaResult compute_direct_rpa(const ham::Hamiltonian& h,
   const double dv = h.grid().dv();
   const auto quad = rpa::rpa_frequency_quadrature(ell);
   for (const rpa::QuadPoint& q : quad) {
+    rpa::check_run_control(control);
     std::vector<double> spectrum =
         nu_chi0_spectrum(eig, n_occ, q.omega, klap, dv);
+    // Ascending spectrum: the first n_keep entries are the most negative.
+    const std::size_t keep =
+        n_keep == 0 ? spectrum.size() : std::min(n_keep, spectrum.size());
     double e_term = 0.0;
-    for (double mu : spectrum) e_term += rpa::rpa_trace_term(mu);
+    for (std::size_t i = 0; i < keep; ++i)
+      e_term += rpa::rpa_trace_term(spectrum[i]);
     out.e_terms.push_back(e_term);
     out.e_rpa += q.weight * e_term / (2.0 * M_PI);
     if (keep_spectra) out.spectra.push_back(std::move(spectrum));

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "direct/dense.hpp"
+#include "rpa/erpa.hpp"
 #include "rpa/quadrature.hpp"
 
 namespace rsrpa::direct {
@@ -13,18 +14,25 @@ struct DirectRpaResult {
   double e_rpa_per_atom = 0.0;
   double total_seconds = 0.0;
   double diagonalization_seconds = 0.0;
-  /// Per quadrature point: the exact trace contribution over the FULL
-  /// spectrum, and the spectrum itself (ascending) for Fig. 1.
+  /// Per quadrature point: the exact trace contribution (full spectrum,
+  /// or the n_keep most negative eigenvalues when truncated), and the
+  /// full spectrum itself (ascending) for Fig. 1.
   std::vector<double> e_terms;
   std::vector<std::vector<double>> spectra;
 };
 
 /// Compute E_RPA by full diagonalization + explicit Adler-Wiser chi0 at
 /// each of `ell` quadrature points. `keep_spectra` stores the full
-/// nu chi0 spectrum per omega (Fig. 1 data).
+/// nu chi0 spectrum per omega (Fig. 1 data). `n_keep` truncates the trace
+/// to the n_keep most negative eigenvalues per point (0 = full trace) —
+/// the apples-to-apples comparison against the subspace drivers at the
+/// same N_NUCHI_EIGS. `control` is the standard cooperative cancel/
+/// preempt hook, polled at quadrature-point boundaries.
 DirectRpaResult compute_direct_rpa(const ham::Hamiltonian& h,
                                    std::size_t n_occ,
                                    const poisson::KroneckerLaplacian& klap,
-                                   int ell, bool keep_spectra = false);
+                                   int ell, bool keep_spectra = false,
+                                   std::size_t n_keep = 0,
+                                   const rpa::RunControl* control = nullptr);
 
 }  // namespace rsrpa::direct

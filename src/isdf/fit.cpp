@@ -1,0 +1,116 @@
+#include "isdf/fit.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "sched/parallel_for.hpp"
+
+namespace rsrpa::isdf {
+
+std::vector<double> virtual_pair_weights(const std::vector<double>& values,
+                                         std::size_t n_occ,
+                                         double omega_ref) {
+  RSRPA_REQUIRE(n_occ >= 1 && n_occ < values.size());
+  RSRPA_REQUIRE(omega_ref > 0.0);
+  double ebar = 0.0;
+  for (std::size_t j = 0; j < n_occ; ++j) ebar += values[j];
+  ebar /= static_cast<double>(n_occ);
+  std::vector<double> v(values.size() - n_occ);
+  for (std::size_t a = 0; a < v.size(); ++a) {
+    const double d = values[n_occ + a] - ebar;
+    v[a] = std::sqrt(
+        std::max(4.0 * d / (d * d + omega_ref * omega_ref), 0.0));
+  }
+  return v;
+}
+
+FitResult fit_interpolation_vectors(const la::EigResult& eig,
+                                    std::size_t n_occ,
+                                    const std::vector<double>& vir_weights,
+                                    const std::vector<std::size_t>& points,
+                                    double ridge) {
+  const std::size_t n_d = eig.vectors.rows();
+  const std::size_t nip = points.size();
+  RSRPA_REQUIRE(nip >= 1 && n_occ >= 1 && n_occ < n_d);
+  RSRPA_REQUIRE(eig.vectors.cols() == n_d);
+  const std::size_t n_vir = n_d - n_occ;
+  RSRPA_REQUIRE(vir_weights.size() == n_vir);
+  RSRPA_REQUIRE(ridge >= 0.0);
+  for (std::size_t p : points) RSRPA_REQUIRE(p < n_d);
+
+  // Occupied half-Gram G_occ(r, mu) = sum_j psi_j(r) psi_j(p_mu).
+  la::Matrix<double> pmu(n_occ, nip);
+  for (std::size_t mu = 0; mu < nip; ++mu)
+    for (std::size_t j = 0; j < n_occ; ++j)
+      pmu(j, mu) = eig.vectors(points[mu], j);
+  la::Matrix<double> go(n_d, nip);
+  {
+    const la::Matrix<double> psi = eig.vectors.slice_cols(0, n_occ);
+    la::gemm_nn(1.0, psi, pmu, 0.0, go);
+  }
+
+  // Weighted virtual half-Gram Gv(r, mu) = sum_a v_a^2 phi_a(r)
+  // phi_a(p_mu): one GEMM against the v^2-scaled sampled rows.
+  la::Matrix<double> vmu(n_vir, nip);
+  for (std::size_t mu = 0; mu < nip; ++mu)
+    for (std::size_t a = 0; a < n_vir; ++a)
+      vmu(a, mu) = vir_weights[a] * vir_weights[a] *
+                   eig.vectors(points[mu], n_occ + a);
+  la::Matrix<double> gv(n_d, nip);
+  {
+    const la::Matrix<double> qv = eig.vectors.slice_cols(n_occ, n_vir);
+    la::gemm_nn(1.0, qv, vmu, 0.0, gv);
+  }
+
+  // B B^T from the sampled rows, before the big factors are combined.
+  la::Matrix<double> bbt(nip, nip);
+  for (std::size_t nu = 0; nu < nip; ++nu)
+    for (std::size_t mu = 0; mu < nip; ++mu)
+      bbt(mu, nu) = go(points[mu], nu) * gv(points[mu], nu);
+  // Symmetric in exact arithmetic; symmetrize so the Cholesky sees a
+  // clean matrix.
+  for (std::size_t nu = 0; nu < nip; ++nu)
+    for (std::size_t mu = 0; mu < nu; ++mu) {
+      const double avg = 0.5 * (bbt(mu, nu) + bbt(nu, mu));
+      bbt(mu, nu) = avg;
+      bbt(nu, mu) = avg;
+    }
+
+  // go <- A B^T = G_occ o Gv in place.
+  sched::parallel_for(0, nip, 1, [&](std::size_t mu) {
+    double* c = &go(0, mu);
+    const double* w = &gv(0, mu);
+    for (std::size_t r = 0; r < n_d; ++r) c[r] *= w[r];
+  });
+
+  double diag_mean = 0.0;
+  for (std::size_t mu = 0; mu < nip; ++mu) diag_mean += bbt(mu, mu);
+  diag_mean = std::max(diag_mean / static_cast<double>(nip), 1e-300);
+
+  FitResult out;
+  // Solve (B B^T) Theta^T = (A B^T)^T, escalating the ridge on breakdown.
+  la::Matrix<double> rhs = go.transposed();  // nip x n_d
+  double rel = ridge;
+  for (int attempt = 0;; ++attempt) {
+    la::Matrix<double> lhs = bbt;
+    if (rel > 0.0)
+      for (std::size_t mu = 0; mu < nip; ++mu) lhs(mu, mu) += rel * diag_mean;
+    try {
+      la::Cholesky chol(lhs);
+      la::Matrix<double> x = rhs;
+      chol.solve_inplace(x);
+      out.theta = x.transposed();
+      out.ridge = rel;
+      out.regularized = rel > 0.0 && rel != ridge;
+      return out;
+    } catch (const NumericalBreakdown&) {
+      RSRPA_REQUIRE_MSG(attempt < 8,
+                        "isdf fit: Gram matrix not positive definite even "
+                        "with maximal ridge");
+      rel = (rel == 0.0) ? 1e-12 : rel * 100.0;
+    }
+  }
+}
+
+}  // namespace rsrpa::isdf

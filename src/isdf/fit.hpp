@@ -1,0 +1,65 @@
+// ISDF interpolation-vector fit.
+//
+// Given interpolation points {r_mu}, the interpolation vectors zeta_mu
+// minimize, in weighted least squares over the occupied x virtual pair
+// space,
+//
+//   sum_{j occ, a vir} v_a^2 || rho_{ja} - sum_mu zeta_mu rho_{ja}(r_mu) ||^2 ,
+//
+// i.e. Theta = (A B^T)(B B^T)^{-1} with A the matrix of pair products
+// scaled by the per-virtual weight v_a and B its rows sampled at the
+// points. Both Gram factors collapse to Hadamard products of two half
+// Grams:
+//
+//   (A B^T)(r, mu) = G_occ(r, p_mu) * Gv(r, p_mu)
+//   (B B^T)(mu,nu) = G_occ(p_mu, p_nu) * Gv(p_mu, p_nu)
+//
+// with G_occ = Psi Psi_mu^T over the occupied block and Gv(r, r') =
+// sum_a v_a^2 phi_a(r) phi_a(r') the weighted virtual half-Gram — one
+// n_d x n_vir x nip GEMM each, frequency-independent.
+//
+// The weight matters: unweighted (v_a = 1, the completeness-trick form
+// delta - G_occ) the fit spends its budget on the enormous tail of
+// grid-scale high-virtual pairs, whose chi0 contribution is crushed by
+// the energy denominator; the compressed energy then degrades as the grid
+// refines. virtual_pair_weights mirrors the Adler-Wiser factor at a
+// reference frequency so the fit targets the pairs that carry the trace.
+// The normal equations are solved by Cholesky; a graded ridge is added on
+// (numerical) rank deficiency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/eig.hpp"
+#include "la/matrix.hpp"
+
+namespace rsrpa::isdf {
+
+struct FitResult {
+  la::Matrix<double> theta;  ///< n_d x nip interpolation vectors
+  bool regularized = false;  ///< Cholesky needed a ridge
+  double ridge = 0.0;        ///< the ridge that succeeded (0 = clean)
+};
+
+/// Per-virtual fit weights v_a = sqrt(4 (lam_a - ebar) / ((lam_a - ebar)^2
+/// + omega_ref^2)) with ebar the mean occupied eigenvalue — the square
+/// root of the Adler-Wiser energy factor a virtual picks up in chi0 at
+/// frequency omega_ref. `values` is the full ascending spectrum; the
+/// returned vector has one entry per virtual state (size n - n_occ).
+std::vector<double> virtual_pair_weights(const std::vector<double>& values,
+                                         std::size_t n_occ, double omega_ref);
+
+/// Fit the ISDF interpolation vectors for the occupied x virtual pair
+/// products of the full eigenbasis `eig` (l2-orthonormal columns,
+/// ascending) at the given grid points, weighting virtual a by
+/// vir_weights[a]. `ridge`, when nonzero, is added to the Gram diagonal
+/// up front (scaled by the mean diagonal); on Cholesky breakdown an
+/// escalating ridge is applied automatically.
+FitResult fit_interpolation_vectors(const la::EigResult& eig,
+                                    std::size_t n_occ,
+                                    const std::vector<double>& vir_weights,
+                                    const std::vector<std::size_t>& points,
+                                    double ridge = 0.0);
+
+}  // namespace rsrpa::isdf

@@ -1,0 +1,72 @@
+#include "isdf/points.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+#include "sched/parallel_for.hpp"
+
+namespace rsrpa::isdf {
+
+PointSelection select_interpolation_points(
+    const la::EigResult& eig, std::size_t n_occ,
+    const std::vector<double>& vir_weights, std::size_t nip,
+    std::size_t oversample, const Rng& rng) {
+  const std::size_t n_d = eig.vectors.rows();
+  RSRPA_REQUIRE_MSG(nip >= 1 && nip <= n_d, "nip must be in [1, n_d]");
+  RSRPA_REQUIRE(n_occ >= 1 && n_occ < n_d && eig.vectors.cols() == n_d);
+  const std::size_t n_vir = n_d - n_occ;
+  RSRPA_REQUIRE(vir_weights.size() == n_vir);
+
+  // Sketch width per side: enough that k^2 rows can resolve nip pivots.
+  const std::size_t k =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(nip)))) +
+      oversample;
+
+  // Gaussian mixtures of the occupied orbitals (side 1) and of the
+  // weight-scaled virtuals (side 2). One derived stream per (side,
+  // column) — never the shared engine — so the fills are order- and
+  // thread-count-independent.
+  la::Matrix<double> g1(n_occ, k), g2(n_vir, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    Rng r1 = rng.derive((std::uint64_t{1} << 32) | c);
+    Rng r2 = rng.derive((std::uint64_t{2} << 32) | c);
+    r1.fill_normal(g1.col(c));
+    r2.fill_normal(g2.col(c));
+    double* g2c = &g2(0, c);
+    for (std::size_t a = 0; a < n_vir; ++a) g2c[a] *= vir_weights[a];
+  }
+  la::Matrix<double> y1(n_d, k), y2(n_d, k);
+  {
+    const la::Matrix<double> psi = eig.vectors.slice_cols(0, n_occ);
+    const la::Matrix<double> qv = eig.vectors.slice_cols(n_occ, n_vir);
+    la::gemm_nn(1.0, psi, g1, 0.0, y1);
+    la::gemm_nn(1.0, qv, g2, 0.0, y2);
+  }
+
+  // Khatri-Rao sketch, one k^2-row column per grid point. Transpose the
+  // mixtures first so each grid point reads two contiguous k-vectors.
+  la::Matrix<double> y1t = y1.transposed();
+  la::Matrix<double> y2t = y2.transposed();
+  la::Matrix<double> sketch(k * k, n_d);
+  sched::parallel_for(0, n_d, 64, [&](std::size_t r) {
+    const double* a = &y1t(0, r);
+    const double* b = &y2t(0, r);
+    double* s = &sketch(0, r);
+    for (std::size_t t = 0; t < k; ++t)
+      for (std::size_t ss = 0; ss < k; ++ss) s[ss + t * k] = a[ss] * b[t];
+  });
+
+  la::PivotedQrResult qr = la::pivoted_qr(sketch, nip, 1e-12);
+
+  PointSelection sel;
+  sel.sketch_rows = k * k;
+  sel.points.assign(qr.pivots.begin(),
+                    qr.pivots.begin() + static_cast<std::ptrdiff_t>(qr.rank));
+  sel.r_diag.resize(qr.rank);
+  for (std::size_t i = 0; i < qr.rank; ++i)
+    sel.r_diag[i] = std::abs(qr.r(i, i));
+  return sel;
+}
+
+}  // namespace rsrpa::isdf

@@ -1,0 +1,49 @@
+// ISDF interpolation-point selection (Lu & Thicke, arXiv:1704.03609 §3).
+//
+// The pair products rho_{ja}(r) = psi_j(r) phi_a(r) that build chi0 live
+// in a numerically low-rank subspace of grid functions. ISDF picks `nip`
+// physical grid points r_mu such that every pair product is well
+// reconstructed from its values at those points. The selection is a
+// rank-revealing column-pivoted QR on a randomized sketch of the
+// occupied x (weighted) virtual Khatri-Rao product: Gaussian mixtures
+// Y1 = Psi G1 of the occupied orbitals, Gaussian mixtures Y2 = Qvir
+// diag(v) G2 of the weight-scaled virtuals (the same v_a the fit uses,
+// so selection and fit target the same pair space), the k^2 x n_d sketch
+// S[(s,t), r] = Y1(r,s) Y2(r,t), and the QRCP pivot sequence of S as the
+// point ranking. Randomness flows through Rng::derive with one stream per
+// Gaussian column, so the selection is bitwise reproducible at any thread
+// count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/eig.hpp"
+#include "la/matrix.hpp"
+
+namespace rsrpa::isdf {
+
+struct PointSelection {
+  /// Selected grid-point indices, in pivot (importance) order. Size is
+  /// min(nip, numerical rank of the sketch).
+  std::vector<std::size_t> points;
+  /// |R(k,k)| of the pivoted QR, one per selected point, non-increasing.
+  /// The decay r_diag.back() / r_diag.front() measures how exhausted the
+  /// sketched pair space is at this nip.
+  std::vector<double> r_diag;
+  /// Rows of the sketch matrix (k^2 with k Gaussian columns per side).
+  std::size_t sketch_rows = 0;
+};
+
+/// Select `nip` interpolation points for the occupied x virtual pair
+/// products of the full eigenbasis `eig` (columns are grid functions,
+/// ascending), weighting virtual a by vir_weights[a]. `oversample` extra
+/// Gaussian columns per side pad the sketch beyond ceil(sqrt(nip)).
+/// Deterministic for a fixed `rng` seed.
+PointSelection select_interpolation_points(
+    const la::EigResult& eig, std::size_t n_occ,
+    const std::vector<double>& vir_weights, std::size_t nip,
+    std::size_t oversample, const Rng& rng);
+
+}  // namespace rsrpa::isdf

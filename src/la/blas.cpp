@@ -63,28 +63,76 @@ void gemm_nn_impl(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
 
 enum class Conj { No, Yes };
 
+// Dot product of two contiguous runs with eight independent accumulator
+// chains. A single-accumulator loop is FMA-latency bound (~1 flop per
+// 4-cycle dependency step); eight chains keep the pipeline full and map
+// onto two SIMD accumulators under auto-vectorization. The reduction
+// order is fixed in code, so the result is deterministic.
+template <typename T, Conj kConj>
+T chunk_dot(const T* x, const T* y, std::size_t len) {
+  T s0{}, s1{}, s2{}, s3{}, s4{}, s5{}, s6{}, s7{};
+  std::size_t p = 0;
+  if constexpr (kConj == Conj::Yes) {
+    for (; p + 8 <= len; p += 8) {
+      s0 += std::conj(x[p]) * y[p];
+      s1 += std::conj(x[p + 1]) * y[p + 1];
+      s2 += std::conj(x[p + 2]) * y[p + 2];
+      s3 += std::conj(x[p + 3]) * y[p + 3];
+      s4 += std::conj(x[p + 4]) * y[p + 4];
+      s5 += std::conj(x[p + 5]) * y[p + 5];
+      s6 += std::conj(x[p + 6]) * y[p + 6];
+      s7 += std::conj(x[p + 7]) * y[p + 7];
+    }
+    for (; p < len; ++p) s0 += std::conj(x[p]) * y[p];
+  } else {
+    for (; p + 8 <= len; p += 8) {
+      s0 += x[p] * y[p];
+      s1 += x[p + 1] * y[p + 1];
+      s2 += x[p + 2] * y[p + 2];
+      s3 += x[p + 3] * y[p + 3];
+      s4 += x[p + 4] * y[p + 4];
+      s5 += x[p + 5] * y[p + 5];
+      s6 += x[p + 6] * y[p + 6];
+      s7 += x[p + 7] * y[p + 7];
+    }
+    for (; p < len; ++p) s0 += x[p] * y[p];
+  }
+  return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+}
+
 template <typename T, Conj kConj>
 void gemm_tn_impl(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
                   Matrix<T>& c) {
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   RSRPA_REQUIRE(b.rows() == k && c.rows() == m && c.cols() == n);
-  // Each C(i, j) is a dot product of two contiguous columns, so this shape
-  // is naturally cache-friendly; parallelize over disjoint ranges of
-  // output columns.
+  // Each C(i, j) is a dot product of two contiguous columns. For large k
+  // a naive dot sweep re-streams all of A from memory once per output
+  // column, so accumulate over kKB-length chunks of the shared dimension
+  // instead: an (kMB x kKB) panel of A stays in L2 and is reused across
+  // the task's whole column range. Per output element the chunk partial
+  // sums are added in ascending-p order — one fixed FP sequence — and
+  // tasks own disjoint column ranges, so the result is bitwise identical
+  // at every thread count.
+  constexpr std::size_t kMB = 64;
   const std::size_t grain = column_grain(m * k);
   sched::parallel_for_range(0, n, grain, [&](std::size_t jb, std::size_t je) {
     for (std::size_t j = jb; j < je; ++j) {
-      const T* bcol = &b(0, j);
-      for (std::size_t i = 0; i < m; ++i) {
-        const T* acol = &a(0, i);
-        T sum{};
-        if constexpr (kConj == Conj::Yes) {
-          for (std::size_t p = 0; p < k; ++p)
-            sum += std::conj(acol[p]) * bcol[p];
-        } else {
-          for (std::size_t p = 0; p < k; ++p) sum += acol[p] * bcol[p];
+      T* ccol = &c(0, j);
+      if (beta == T{0})
+        for (std::size_t i = 0; i < m; ++i) ccol[i] = T{};
+      else if (beta != T{1})
+        for (std::size_t i = 0; i < m; ++i) ccol[i] *= beta;
+    }
+    for (std::size_t kk = 0; kk < k; kk += kKB) {
+      const std::size_t klen = std::min(kKB, k - kk);
+      for (std::size_t ii = 0; ii < m; ii += kMB) {
+        const std::size_t iend = std::min(ii + kMB, m);
+        for (std::size_t j = jb; j < je; ++j) {
+          const T* bcol = &b(kk, j);
+          T* ccol = &c(0, j);
+          for (std::size_t i = ii; i < iend; ++i)
+            ccol[i] += alpha * chunk_dot<T, kConj>(&a(kk, i), bcol, klen);
         }
-        c(i, j) = alpha * sum + (beta == T{0} ? T{} : beta * c(i, j));
       }
     }
   });

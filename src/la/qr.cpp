@@ -1,9 +1,12 @@
 #include "la/qr.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
+#include "sched/parallel_for.hpp"
 
 namespace rsrpa::la {
 
@@ -66,6 +69,113 @@ void orthonormalize(Matrix<double>& v) {
   } catch (const NumericalBreakdown&) {
     householder_qr(v);
   }
+}
+
+PivotedQrResult pivoted_qr(const Matrix<double>& a, std::size_t max_rank,
+                           double rel_tol) {
+  const std::size_t m = a.rows(), n = a.cols();
+  RSRPA_REQUIRE(m >= 1 && n >= 1);
+  RSRPA_REQUIRE(rel_tol >= 0.0);
+  const std::size_t kmax =
+      std::min({max_rank == 0 ? n : max_rank, m, n});
+
+  // Work on a copy: Householder vectors accumulate in the lower trapezoid,
+  // R in the upper one, exactly as householder_qr does.
+  Matrix<double> w = a;
+  PivotedQrResult out;
+  out.pivots.resize(n);
+  std::iota(out.pivots.begin(), out.pivots.end(), std::size_t{0});
+
+  // Squared remaining norms of each trailing column, maintained by
+  // downdating; the original norms gate the cancellation recompute.
+  std::vector<double> norms2(n, 0.0), norms2_ref(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto cj = w.col(j);
+    norms2[j] = dot(cj, cj);
+    norms2_ref[j] = norms2[j];
+  }
+
+  std::vector<double> tau(kmax, 0.0);
+  double r00 = 0.0;
+  for (std::size_t k = 0; k < kmax; ++k) {
+    // Greedy pivot: largest remaining norm, smallest index on ties so the
+    // selection is deterministic regardless of how norms were refreshed.
+    std::size_t jmax = k;
+    for (std::size_t j = k + 1; j < n; ++j)
+      if (norms2[j] > norms2[jmax]) jmax = j;
+    if (jmax != k) {
+      auto ck = w.col(k), cj = w.col(jmax);
+      std::swap_ranges(ck.begin(), ck.end(), cj.begin());
+      std::swap(norms2[k], norms2[jmax]);
+      std::swap(norms2_ref[k], norms2_ref[jmax]);
+      std::swap(out.pivots[k], out.pivots[jmax]);
+    }
+
+    double normx = 0.0;
+    for (std::size_t i = k; i < m; ++i) normx += w(i, k) * w(i, k);
+    normx = std::sqrt(normx);
+    if (k == 0) r00 = normx;
+    // Rank revealed: the best remaining column is numerically zero (or
+    // below the requested relative threshold).
+    if (normx == 0.0 || normx <= rel_tol * r00) break;
+
+    const double alpha = (w(k, k) >= 0.0) ? -normx : normx;
+    const double vk = w(k, k) - alpha;
+    w(k, k) = alpha;
+    for (std::size_t i = k + 1; i < m; ++i) w(i, k) /= vk;
+    tau[k] = -vk / alpha;
+    out.rank = k + 1;
+
+    // Trailing update + norm downdate, one independent task per column —
+    // bitwise deterministic at any thread count (disjoint writes, same
+    // per-column op sequence). Grain sized so a chunk is ~16k flops.
+    const std::size_t rows_left = m - k;
+    const std::size_t grain = std::max<std::size_t>(1, 4096 / rows_left);
+    sched::parallel_for(k + 1, n, grain, [&](std::size_t j) {
+      double wj = w(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) wj += w(i, k) * w(i, j);
+      wj *= tau[k];
+      w(k, j) -= wj;
+      for (std::size_t i = k + 1; i < m; ++i) w(i, j) -= w(i, k) * wj;
+      // Downdate |col_j(k:m)|^2 by the freshly produced R entry. When
+      // cancellation has eaten most of the original magnitude the
+      // downdated value is untrustworthy — recompute from scratch.
+      double t = norms2[j] - w(k, j) * w(k, j);
+      if (!(t > 1e-12 * norms2_ref[j])) {
+        t = 0.0;
+        for (std::size_t i = k + 1; i < m; ++i) t += w(i, j) * w(i, j);
+      }
+      norms2[j] = std::max(t, 0.0);
+    });
+  }
+
+  // R: rank x n in pivoted order (columns beyond rank keep their projected
+  // coefficients, so A[:, pivots] = Q R holds for ALL columns when the
+  // matrix is exactly low-rank).
+  const std::size_t rank = out.rank;
+  out.r = Matrix<double>(std::max<std::size_t>(rank, 1), n);
+  out.r.zero();
+  if (rank > 0)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i <= std::min(j, rank - 1); ++i)
+        out.r(i, j) = w(i, j);
+
+  // Thin Q: apply the reflectors to the first `rank` columns of I.
+  out.q = Matrix<double>(m, std::max<std::size_t>(rank, 1));
+  out.q.zero();
+  for (std::size_t j = 0; j < rank; ++j) out.q(j, j) = 1.0;
+  for (std::size_t kk = rank; kk-- > 0;) {
+    const std::size_t k = kk;
+    if (tau[k] == 0.0) continue;
+    for (std::size_t j = 0; j < rank; ++j) {
+      double wq = out.q(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) wq += w(i, k) * out.q(i, j);
+      wq *= tau[k];
+      out.q(k, j) -= wq;
+      for (std::size_t i = k + 1; i < m; ++i) out.q(i, j) -= w(i, k) * wq;
+    }
+  }
+  return out;
 }
 
 }  // namespace rsrpa::la

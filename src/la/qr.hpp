@@ -1,10 +1,18 @@
-// Orthonormalization of tall-and-skinny blocks.
+// Orthonormalization of tall-and-skinny blocks, and rank-revealing
+// column-pivoted QR.
 //
 // Subspace iteration and CheFSI need to re-orthonormalize n_d x n_eig
 // blocks. Cholesky-QR (Gram matrix + Cholesky + triangular solve) is the
 // BLAS-3-rich method of choice for well-conditioned blocks; Householder
 // thin QR is the robust fallback when the Gram matrix loses definiteness.
+//
+// pivoted_qr is the Businger-Golub QRCP kernel behind ISDF interpolation
+// point selection (src/isdf/points): the pivot sequence of a short-and-fat
+// sketch matrix IS the point ranking, and the |R_kk| decay reveals the
+// numerical rank of the sketched pair-product space.
 #pragma once
+
+#include <vector>
 
 #include "la/matrix.hpp"
 
@@ -21,5 +29,31 @@ void householder_qr(Matrix<double>& v);
 /// Orthonormalize with Cholesky-QR, falling back to Householder on
 /// breakdown. This is the entry point the eigensolvers use.
 void orthonormalize(Matrix<double>& v);
+
+/// Result of a rank-revealing column-pivoted QR factorization.
+///
+/// A[:, pivots] = Q R with Q (m x rank) orthonormal and R (rank x n)
+/// upper-trapezoidal in pivoted column order. |R(k,k)| is non-increasing
+/// (Businger-Golub greedy pivoting), so the diagonal decay exposes the
+/// numerical rank. `pivots` is the full length-n permutation; its first
+/// `rank` entries are the selected columns in selection order.
+struct PivotedQrResult {
+  Matrix<double> q;
+  Matrix<double> r;
+  std::vector<std::size_t> pivots;
+  std::size_t rank = 0;
+};
+
+/// Rank-revealing column-pivoted Householder QR (Businger-Golub).
+///
+/// Stops after `max_rank` pivots (0 = min(m, n)), or earlier when the
+/// largest remaining column norm drops to <= rel_tol * |R(0,0)|. Trailing
+/// reflector updates are threaded per column through sched::parallel_for
+/// and are bitwise deterministic at any thread count; pivot ties break to
+/// the smallest column index. Column norms are tracked by downdating with
+/// a cancellation guard that recomputes when more than half the bits are
+/// gone.
+PivotedQrResult pivoted_qr(const Matrix<double>& a, std::size_t max_rank = 0,
+                           double rel_tol = 0.0);
 
 }  // namespace rsrpa::la

@@ -48,6 +48,17 @@ inline constexpr const char* kTolEigTruncated = "tol_eig_truncated";
 // while these describe one process's I/O, not the computation.
 inline constexpr const char* kCheckpointWritten = "checkpoint_written";
 inline constexpr const char* kRunResumed = "run_resumed";
+// ISDF backend lifecycle (src/isdf). Selection reports the sketch shape
+// and |R_kk| decay of the pivoted QR; rank_deficient fires when the
+// sketch ran out of numerical rank before `nip` points were found; the
+// fit event records the ridge the normal equations needed (0 = clean
+// Cholesky).
+inline constexpr const char* kIsdfPointsSelected = "isdf_points_selected";
+inline constexpr const char* kIsdfRankDeficient = "isdf_rank_deficient";
+inline constexpr const char* kIsdfFitRegularized = "isdf_fit_regularized";
+// SLQ driver: one per quadrature point with the probe-mean trace estimate
+// and its sample spread.
+inline constexpr const char* kSlqOmegaEstimate = "slq_omega_estimate";
 }  // namespace events
 
 struct Event {

@@ -211,6 +211,71 @@ Json to_json(const par::ParallelRpaResult& res) {
   return j;
 }
 
+Json to_json(const direct::DirectRpaResult& res) {
+  Json j = Json::object();
+  j["e_rpa"] = res.e_rpa;
+  j["e_rpa_per_atom"] = res.e_rpa_per_atom;
+  j["converged"] = true;  // the dense route has no iterative tolerance
+  j["total_seconds"] = res.total_seconds;
+  j["diagonalization_seconds"] = res.diagonalization_seconds;
+  Json terms = Json::array();
+  for (double e : res.e_terms) terms.push_back(e);
+  j["e_terms"] = std::move(terms);
+  return j;
+}
+
+Json to_json(const rpa::SlqOmegaRecord& rec) {
+  Json j = Json::object();
+  j["omega"] = rec.omega;
+  j["weight"] = rec.weight;
+  j["e_term"] = rec.e_term;
+  j["n_probes"] = rec.n_probes;
+  j["lanczos_steps"] = rec.lanczos_steps;
+  j["probe_stddev"] = rec.probe_stddev;
+  j["matvec_columns"] = rec.matvec_columns;
+  j["seconds"] = rec.seconds;
+  return j;
+}
+
+Json to_json(const rpa::SlqRpaResult& res) {
+  Json j = Json::object();
+  j["e_rpa"] = res.e_rpa;
+  j["e_rpa_per_atom"] = res.e_rpa_per_atom;
+  j["converged"] = true;  // stochastic: accuracy lives in probe_stddev
+  j["total_seconds"] = res.total_seconds;
+  j["matvec_columns"] = res.matvec_columns;
+  Json per_omega = Json::array();
+  for (const rpa::SlqOmegaRecord& rec : res.per_omega)
+    per_omega.push_back(to_json(rec));
+  j["per_omega"] = std::move(per_omega);
+  j["events"] = to_json(res.events);
+  return j;
+}
+
+Json to_json(const isdf::IsdfRpaResult& res) {
+  Json j = Json::object();
+  j["e_rpa"] = res.e_rpa;
+  j["e_rpa_per_atom"] = res.e_rpa_per_atom;
+  j["converged"] = res.converged;
+  j["total_seconds"] = res.total_seconds;
+  j["diagonalization_seconds"] = res.diagonalization_seconds;
+  j["nip"] = res.nip;
+  j["n_eig"] = res.n_eig;
+  j["fit_ridge"] = res.fit_ridge;
+  if (!res.r_diag.empty())
+    j["r_decay"] = res.r_diag.back() / res.r_diag.front();
+  Json points = Json::array();
+  for (std::size_t p : res.points) points.push_back(static_cast<long>(p));
+  j["points"] = std::move(points);
+  Json per_omega = Json::array();
+  for (const rpa::OmegaRecord& rec : res.per_omega)
+    per_omega.push_back(to_json(rec));
+  j["per_omega"] = std::move(per_omega);
+  j["timers"] = to_json(res.timers);
+  j["events"] = to_json(res.events);
+  return j;
+}
+
 KernelTimers kernel_timers_from_json(const Json& j) {
   KernelTimers timers;
   for (const auto& [name, seconds] : j.as_object())

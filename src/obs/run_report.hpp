@@ -9,10 +9,13 @@
 // files across revisions, so keep fields append-only.
 #pragma once
 
+#include "direct/direct_rpa.hpp"
+#include "isdf/erpa_isdf.hpp"
 #include "obs/event_log.hpp"
 #include "obs/json.hpp"
 #include "par/parallel_rpa.hpp"
 #include "rpa/erpa.hpp"
+#include "rpa/erpa_slq.hpp"
 #include "sched/pool_stats.hpp"
 #include "solver/dynamic_block.hpp"
 
@@ -50,6 +53,15 @@ Json to_json(const par::KernelBreakdown& k);
 /// Adds the per-rank measured seconds and per-rank merged timers on top
 /// of the embedded RpaResult record.
 Json to_json(const par::ParallelRpaResult& res);
+
+// The other three backends' run records share the RpaResult field names
+// (e_rpa, e_rpa_per_atom, converged, total_seconds, per_omega, timers,
+// events) so obs tooling written against the Sternheimer report reads
+// them unchanged; backend-specific extras are additive.
+Json to_json(const direct::DirectRpaResult& res);
+Json to_json(const rpa::SlqOmegaRecord& rec);
+Json to_json(const rpa::SlqRpaResult& res);
+Json to_json(const isdf::IsdfRpaResult& res);
 
 class RunReport {
  public:

@@ -172,7 +172,8 @@ struct OmegaRecord {
 
 struct RpaResult {
   double e_rpa = 0.0;           ///< total correlation energy (Ha)
-  double e_rpa_per_atom = 0.0;  ///< filled by the caller via finalize()
+  double e_rpa_per_atom = 0.0;  ///< e_rpa / n_atoms, filled by the driver
+                                ///< (all four backends populate it)
   bool converged = true;        ///< all quadrature points converged
   /// Any quadrature point had quarantined Sternheimer columns; E_RPA is
   /// finite but carries the degraded points' approximation error.

@@ -20,7 +20,11 @@ SlqRpaResult compute_rpa_energy_slq(const dft::KsSystem& sys,
   Rng rng(opts.seed);
 
   long applies = 0;
-  for (const QuadPoint& q : quad) {
+  for (std::size_t k = 0; k < quad.size(); ++k) {
+    check_run_control(opts.control);
+    const QuadPoint& q = quad[k];
+    WallTimer omega_timer;
+    const long applies_before = applies;
     solver::BlockOpR mop = [&op, &q, &applies](const la::Matrix<double>& in,
                                                la::Matrix<double>& o) {
       op.apply(in, o, q.omega, nullptr, nullptr);
@@ -29,12 +33,38 @@ SlqRpaResult compute_rpa_energy_slq(const dft::KsSystem& sys,
     // The spectrum of M is non-positive; Ritz values may poke slightly
     // above zero from Lanczos rounding and loose Sternheimer solves, so
     // clamp before ln(1 - x).
-    const double e_term = slq_trace(
+    const std::vector<double> samples = slq_trace_samples(
         mop, sys.n_grid(),
         [](double x) { return rpa_trace_term(std::min(x, 0.0)); },
         opts.n_probes, opts.lanczos_steps, rng);
+    double e_term = 0.0;
+    for (double s : samples) e_term += s;
+    e_term /= opts.n_probes;
+
+    SlqOmegaRecord rec;
+    rec.omega = q.omega;
+    rec.weight = q.weight;
+    rec.e_term = e_term;
+    rec.n_probes = opts.n_probes;
+    rec.lanczos_steps = opts.lanczos_steps;
+    if (samples.size() > 1) {
+      double ss = 0.0;
+      for (double s : samples) ss += (s - e_term) * (s - e_term);
+      rec.probe_stddev =
+          std::sqrt(ss / (static_cast<double>(samples.size()) - 1.0));
+    }
+    rec.matvec_columns = applies - applies_before;
+    rec.seconds = omega_timer.seconds();
+    out.events.emit(obs::events::kSlqOmegaEstimate,
+                    "stochastic trace estimate",
+                    {{"omega_index", static_cast<double>(k)},
+                     {"omega", q.omega},
+                     {"e_term", e_term},
+                     {"probe_stddev", rec.probe_stddev},
+                     {"matvec_columns", static_cast<double>(rec.matvec_columns)}});
     out.e_terms.push_back(e_term);
     out.e_rpa += q.weight * e_term / (2.0 * M_PI);
+    out.per_omega.push_back(rec);
   }
 
   out.matvec_columns = applies;

@@ -13,6 +13,8 @@
 // both drivers head to head.
 #pragma once
 
+#include "obs/event_log.hpp"
+#include "rpa/erpa.hpp"
 #include "rpa/nu_chi0.hpp"
 
 namespace rsrpa::rpa {
@@ -23,12 +25,33 @@ struct SlqRpaOptions {
   int lanczos_steps = 16;  ///< Lanczos iterations per probe
   SternheimerOptions stern;
   std::uint64_t seed = 0x51ab5eedULL;
+  /// Cooperative cancel/preempt, polled at quadrature-point boundaries
+  /// like the other drivers. Not owned.
+  RunControl* control = nullptr;
+};
+
+/// Per-quadrature-point SLQ telemetry — the stochastic driver's analogue
+/// of rpa::OmegaRecord (no subspace, so no filter/eigenvalue fields; the
+/// error bar is the probe-sample spread instead).
+struct SlqOmegaRecord {
+  double omega = 0.0;
+  double weight = 0.0;
+  double e_term = 0.0;        ///< probe-mean trace estimate
+  int n_probes = 0;
+  int lanczos_steps = 0;
+  /// Unbiased standard deviation of the per-probe estimates; the standard
+  /// error of e_term is probe_stddev / sqrt(n_probes). 0 when n_probes=1.
+  double probe_stddev = 0.0;
+  long matvec_columns = 0;    ///< operator applies spent on this point
+  double seconds = 0.0;
 };
 
 struct SlqRpaResult {
   double e_rpa = 0.0;
   double e_rpa_per_atom = 0.0;
-  std::vector<double> e_terms;  ///< per-omega trace estimates
+  std::vector<double> e_terms;  ///< per-omega trace estimates (kept: a6 API)
+  std::vector<SlqOmegaRecord> per_omega;
+  obs::EventLog events;         ///< one slq_omega_estimate per point
   double total_seconds = 0.0;
   long matvec_columns = 0;      ///< total single-vector operator applies
 };

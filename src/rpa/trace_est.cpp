@@ -23,13 +23,25 @@ double hutchinson_trace(const solver::BlockOpR& a, std::size_t n,
 double slq_trace(const solver::BlockOpR& a, std::size_t n,
                  const std::function<double(double)>& f, int n_probes,
                  int lanczos_steps, Rng& rng) {
+  const std::vector<double> samples =
+      slq_trace_samples(a, n, f, n_probes, lanczos_steps, rng);
+  double total = 0.0;
+  for (double s : samples) total += s;
+  return total / n_probes;
+}
+
+std::vector<double> slq_trace_samples(const solver::BlockOpR& a, std::size_t n,
+                                      const std::function<double(double)>& f,
+                                      int n_probes, int lanczos_steps,
+                                      Rng& rng) {
   RSRPA_REQUIRE(n_probes >= 1 && lanczos_steps >= 1 && n >= 1);
   const int m = static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(lanczos_steps), n));
 
   la::Matrix<double> q(n, static_cast<std::size_t>(m) + 1);
   la::Matrix<double> zcol(n, 1), az(n, 1);
-  double total = 0.0;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(n_probes));
 
   for (int p = 0; p < n_probes; ++p) {
     rng.fill_rademacher(zcol.col(0));
@@ -68,9 +80,9 @@ double slq_trace(const solver::BlockOpR& a, std::size_t n,
       const double tau = t.vectors(0, i);
       est += tau * tau * f(t.values[i]);
     }
-    total += znorm * znorm * est;
+    samples.push_back(znorm * znorm * est);
   }
-  return total / n_probes;
+  return samples;
 }
 
 }  // namespace rsrpa::rpa

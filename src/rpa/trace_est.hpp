@@ -27,4 +27,13 @@ double slq_trace(const solver::BlockOpR& a, std::size_t n,
                  const std::function<double(double)>& f, int n_probes,
                  int lanczos_steps, Rng& rng);
 
+/// The individual per-probe SLQ estimates (size n_probes); slq_trace is
+/// their mean, computed in probe order, so the two entry points draw the
+/// same values from `rng` and agree bitwise. The spread of the samples is
+/// what the SLQ driver reports as its stochastic error bar.
+std::vector<double> slq_trace_samples(const solver::BlockOpR& a, std::size_t n,
+                                      const std::function<double(double)>& f,
+                                      int n_probes, int lanczos_steps,
+                                      Rng& rng);
+
 }  // namespace rsrpa::rpa

@@ -1,0 +1,58 @@
+// One entry point, four backends.
+//
+// run_driver maps a JobSpec's METHOD onto the matching E_RPA driver and
+// normalizes the four result shapes into a DriverRun: the shared scalars
+// every caller needs (energy, convergence, timing), uniform per-omega
+// rows for printing, and the backend's full structured run-report payload
+// (obs::to_json of the native result). rpacalc and the job service both
+// dispatch through here, so a config means the same thing standalone or
+// submitted to a server — the PR-6 contract, extended to all methods.
+//
+// Checkpoint/resume is a Sternheimer-only capability: the other backends
+// recompute from scratch, so service preemption of a non-Sternheimer job
+// re-queues it at zero saved work (documented in DESIGN.md "Preemption
+// boundaries"). All four backends poll RunControl at quadrature-point
+// boundaries, so cancel/preempt latency is one point for every method.
+#pragma once
+
+#include "obs/run_report.hpp"
+#include "rpa/presets.hpp"
+#include "svc/job.hpp"
+
+namespace rsrpa::svc {
+
+/// One quadrature point, backend-agnostic.
+struct DriverOmegaRow {
+  double omega = 0.0;
+  double weight = 0.0;
+  double e_term = 0.0;
+  bool converged = true;
+  double seconds = 0.0;
+};
+
+struct DriverRun {
+  Method method = Method::kSternheimer;
+  double e_rpa = 0.0;
+  double e_rpa_per_atom = 0.0;
+  bool converged = true;
+  bool degraded = false;  ///< Sternheimer quarantine; false elsewhere
+  double total_seconds = 0.0;
+  std::vector<DriverOmegaRow> per_omega;
+  /// The backend's native run-report payload (obs::to_json of its result
+  /// struct). Written under the method-name key of the report file.
+  obs::Json report;
+  /// The full Sternheimer result (method == kSternheimer only; the other
+  /// backends' extras live in `report`).
+  rpa::RpaResult rpa;
+  bool has_rpa = false;
+};
+
+/// Run spec.method on the built system. `stern_opts` is the fully
+/// resolved Sternheimer option set (checkpoint/control wired by the
+/// caller); the non-Sternheimer backends take their options from `spec`
+/// with `control` injected. Propagates RunCancelled/RunPreempted.
+DriverRun run_driver(const JobSpec& spec, const rpa::BuiltSystem& sys,
+                     const rpa::RpaOptions& stern_opts,
+                     rpa::RunControl* control);
+
+}  // namespace rsrpa::svc

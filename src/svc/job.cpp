@@ -2,11 +2,32 @@
 
 namespace rsrpa::svc {
 
+Method method_from_string(const std::string& s) {
+  if (s == "sternheimer") return Method::kSternheimer;
+  if (s == "direct") return Method::kDirect;
+  if (s == "isdf") return Method::kIsdf;
+  if (s == "slq") return Method::kSlq;
+  throw Error("unknown METHOD '" + s +
+              "' (expected sternheimer|direct|isdf|slq)");
+}
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kSternheimer: return "sternheimer";
+    case Method::kDirect: return "direct";
+    case Method::kIsdf: return "isdf";
+    case Method::kSlq: return "slq";
+  }
+  return "sternheimer";
+}
+
 JobSpec parse_job(const Config& cfg) {
   JobSpec spec;
 
-  // Validate the fault mode before anything else: a typo in a chaos-drill
+  // Validate method and fault mode before anything else: a typo in the
   // config should fail in milliseconds, not after a system build.
+  spec.method = method_from_string(
+      cfg.has("METHOD") ? cfg.get_string("METHOD") : "sternheimer");
   const solver::FaultMode fault_mode = solver::fault_mode_from_string(
       cfg.has("FAULT_MODE") ? cfg.get_string("FAULT_MODE") : "none");
 
@@ -69,6 +90,35 @@ JobSpec parse_job(const Config& cfg) {
   if (cfg.has("FAULT_SEED"))
     opts.stern.fault.seed =
         static_cast<std::uint64_t>(cfg.get_int("FAULT_SEED"));
+
+  // Backend-specific options, kept in lockstep with the resolved shared
+  // knobs (ell, n_eig, Sternheimer sub-options) so METHOD only changes
+  // the route to the trace, not the question being asked.
+  spec.slq.ell = opts.ell;
+  spec.slq.stern = opts.stern;
+  spec.slq.n_probes = cfg.get_int_or("SLQ_PROBES", spec.slq.n_probes);
+  spec.slq.lanczos_steps =
+      cfg.get_int_or("SLQ_LANCZOS_STEPS", spec.slq.lanczos_steps);
+  if (cfg.has("SLQ_SEED"))
+    spec.slq.seed = static_cast<std::uint64_t>(cfg.get_int("SLQ_SEED"));
+  RSRPA_REQUIRE_MSG(spec.slq.n_probes >= 1 && spec.slq.lanczos_steps >= 1,
+                    "SLQ_PROBES and SLQ_LANCZOS_STEPS must be >= 1");
+
+  spec.isdf.ell = opts.ell;
+  spec.isdf.n_eig =
+      cfg.get_int_or("ISDF_FULL_TRACE", 0) != 0 ? 0 : opts.n_eig;
+  spec.isdf.nip = static_cast<std::size_t>(cfg.get_int_or("ISDF_NIP", 0));
+  spec.isdf.c_nip = cfg.get_double_or("ISDF_C", spec.isdf.c_nip);
+  spec.isdf.oversample = static_cast<std::size_t>(
+      cfg.get_int_or("ISDF_OVERSAMPLE", static_cast<int>(spec.isdf.oversample)));
+  spec.isdf.ridge = cfg.get_double_or("ISDF_RIDGE", spec.isdf.ridge);
+  if (cfg.has("ISDF_SEED"))
+    spec.isdf.seed = static_cast<std::uint64_t>(cfg.get_int("ISDF_SEED"));
+  RSRPA_REQUIRE_MSG(spec.isdf.c_nip > 0.0, "ISDF_C must be > 0");
+  RSRPA_REQUIRE_MSG(spec.isdf.ridge >= 0.0, "ISDF_RIDGE must be >= 0");
+
+  spec.direct_n_keep =
+      cfg.get_int_or("DIRECT_FULL_TRACE", 1) != 0 ? 0 : opts.n_eig;
 
   // Service-level keys. The checkpoint pair is advisory for rpacalc; the
   // job service always pins a job's checkpoint to its spool directory.

@@ -2,8 +2,24 @@
 //
 // A job is one `.rpa` config (common/config.hpp — the same artifact
 // key-value format rpacalc reads) mapped onto a SystemPreset + RpaOptions
-// pair, plus the service-level keys that rpacalc ignores:
+// pair, plus the backend selector and the service-level keys:
 //
+//   METHOD       sternheimer | direct | isdf | slq        (default sternheimer)
+//                which of the four E_RPA drivers runs this job; see
+//                DESIGN.md "Choosing a backend"
+//   DIRECT_FULL_TRACE  1 = direct sums the full spectrum (default, the
+//                backend's historical meaning); 0 truncates to N_NUCHI_EIGS
+//                for apples-to-apples comparisons
+//   ISDF_NIP     explicit interpolation-point count (0 = from ISDF_C)
+//   ISDF_C       nip = round(ISDF_C * n_occ) when ISDF_NIP is 0
+//   ISDF_OVERSAMPLE  extra Gaussian sketch columns per side
+//   ISDF_RIDGE   relative fit ridge (0 = only on Cholesky breakdown)
+//   ISDF_SEED    point-selection RNG seed
+//   ISDF_FULL_TRACE  1 = full compressed trace; 0 (default) truncates to
+//                N_NUCHI_EIGS like the Sternheimer driver
+//   SLQ_PROBES   Rademacher probes per frequency
+//   SLQ_LANCZOS_STEPS  Lanczos iterations per probe
+//   SLQ_SEED     probe RNG seed
 //   PRIORITY     scheduling priority; higher runs first   (default 0)
 //   THREADS      per-job task quota on the shared pool; 0 = uncapped
 //                (sched::TaskQuotaScope semantics — a cap on in-flight
@@ -26,13 +42,31 @@
 #include <string>
 
 #include "common/config.hpp"
+#include "isdf/erpa_isdf.hpp"
+#include "rpa/erpa_slq.hpp"
 #include "rpa/presets.hpp"
 
 namespace rsrpa::svc {
 
+/// The four E_RPA backends selectable per job (METHOD key / rpacalc).
+enum class Method { kSternheimer, kDirect, kIsdf, kSlq };
+
+/// Parse "sternheimer" | "direct" | "isdf" | "slq" (case-sensitive).
+/// Throws Error on anything else.
+Method method_from_string(const std::string& s);
+/// The inverse: the canonical lowercase name.
+const char* method_name(Method m);
+
 struct JobSpec {
   rpa::SystemPreset preset;
   rpa::RpaOptions options;     ///< fully resolved (n_eig filled from preset)
+  Method method = Method::kSternheimer;
+  /// Resolved backend options for the non-Sternheimer methods. ell /
+  /// n_eig / Sternheimer sub-options are kept in lockstep with `options`
+  /// by parse_job so every backend answers the same physical question.
+  rpa::SlqRpaOptions slq;
+  isdf::IsdfRpaOptions isdf;
+  std::size_t direct_n_keep = 0;  ///< 0 = full trace (DIRECT_FULL_TRACE 1)
   int priority = 0;            ///< higher = scheduled first
   int quota = 0;               ///< per-job task quota; 0 = uncapped
   std::string checkpoint;      ///< CHECKPOINT key; the service overrides

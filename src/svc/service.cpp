@@ -5,6 +5,7 @@
 
 #include "obs/run_report.hpp"
 #include "sched/thread_pool.hpp"
+#include "svc/driver.hpp"
 
 namespace fs = std::filesystem;
 
@@ -284,13 +285,16 @@ void JobService::run_job(Job& job) {
   const Clock::time_point t0 = Clock::now();
   JobState final_state = JobState::kFailed;
   std::string error;
-  rpa::RpaResult res;
+  DriverRun res;
   bool have_result = false;
 
   try {
     rpa::BuiltSystem sys = rpa::build_system(job.spec.preset);
     rpa::RpaOptions opts = job.spec.options;
     obs::EventLog ck_events;
+    // Checkpoint/resume is a Sternheimer capability; the other backends
+    // ignore these fields and a preempted non-Sternheimer job simply
+    // restarts from scratch when re-scheduled (see svc/driver.hpp).
     opts.checkpoint.path = spool_.checkpoint_file(job.status.id);
     opts.checkpoint.resume = true;  // missing file starts fresh
     opts.checkpoint.events = &ck_events;
@@ -299,7 +303,7 @@ void JobService::run_job(Job& job) {
     // inside every parallel region of this run. Captured by each
     // TaskGroup the run creates, so it follows the work, not the thread.
     sched::TaskQuotaScope quota(job.status.quota);
-    res = rpa::compute_rpa_energy(sys.ks, *sys.klap, opts);
+    res = run_driver(job.spec, sys, opts, &job.control);
     have_result = true;
     final_state = JobState::kDone;
   } catch (const rpa::RunPreempted&) {
@@ -311,10 +315,16 @@ void JobService::run_job(Job& job) {
   }
 
   // The result endpoint: the same structured run report rpacalc-style
-  // standalone runs produce, written before `done` becomes visible.
+  // standalone runs produce, written before `done` becomes visible. The
+  // Sternheimer payload keeps its historical "rpa" key; every method also
+  // writes under its own name plus a "method" tag.
   if (have_result) {
     obs::RunReport report(job.status.id);
-    report.set("rpa", obs::to_json(res));
+    report.set("method", method_name(res.method));
+    if (res.method == Method::kSternheimer)
+      report.set("rpa", res.report);
+    else
+      report.set(method_name(res.method), res.report);
     report.write(spool_.report_file(job.status.id));
   }
 

@@ -11,6 +11,7 @@
 #include "la/lu.hpp"
 #include "la/matrix.hpp"
 #include "la/qr.hpp"
+#include "sched/thread_pool.hpp"
 
 namespace rsrpa::la {
 namespace {
@@ -426,6 +427,112 @@ TEST(Qr, OrthonormalizeFallsBackGracefully) {
   gemm_tn(1.0, v, v, 0.0, g);
   EXPECT_NEAR(g(0, 0), 1.0, 1e-8);
   EXPECT_NEAR(g(1, 1), 1.0, 1e-8);
+}
+
+// Reconstruction residual max_ij |A[:, pivots] - Q R| of a pivoted QR.
+double qrcp_residual(const Matrix<double>& a, const PivotedQrResult& qr) {
+  Matrix<double> rec(a.rows(), qr.r.cols());
+  gemm_nn(1.0, qr.q, qr.r, 0.0, rec);
+  double err = 0.0;
+  for (std::size_t j = 0; j < rec.cols(); ++j)
+    for (std::size_t i = 0; i < rec.rows(); ++i)
+      err = std::max(err, std::abs(rec(i, j) - a(i, qr.pivots[j])));
+  return err;
+}
+
+TEST(PivotedQr, RevealsLowRank) {
+  Rng rng(31);
+  // A = U V^T has exact rank 5; the QRCP must stop there.
+  Matrix<double> u = random_matrix(40, 5, rng);
+  Matrix<double> v = random_matrix(30, 5, rng);
+  Matrix<double> vt = v.transposed();
+  Matrix<double> a(40, 30);
+  gemm_nn(1.0, u, vt, 0.0, a);
+
+  PivotedQrResult qr = pivoted_qr(a, 0, 1e-10);
+  EXPECT_EQ(qr.rank, 5u);
+  for (std::size_t i = 1; i < qr.rank; ++i)
+    EXPECT_LE(std::abs(qr.r(i, i)), std::abs(qr.r(i - 1, i - 1)) + 1e-14);
+  EXPECT_LT(qrcp_residual(a, qr), 1e-9);
+}
+
+TEST(PivotedQr, TracksGradedSingularValues) {
+  Rng rng(32);
+  const std::size_t n = 24;
+  // A = Q1 diag(2^-k) Q2^T: |R(k,k)| must fall with the graded spectrum.
+  Matrix<double> q1 = random_matrix(n, n, rng);
+  Matrix<double> q2 = random_matrix(n, n, rng);
+  householder_qr(q1);
+  householder_qr(q2);
+  Matrix<double> q2t = q2.transposed();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) q2t(i, j) *= std::pow(2.0, -double(i));
+  Matrix<double> a(n, n);
+  gemm_nn(1.0, q1, q2t, 0.0, a);
+
+  PivotedQrResult qr = pivoted_qr(a);
+  ASSERT_EQ(qr.rank, n);
+  for (std::size_t i = 1; i < n; ++i)
+    EXPECT_LE(std::abs(qr.r(i, i)), std::abs(qr.r(i - 1, i - 1)) + 1e-14);
+  // Greedy QRCP tracks a graded spectrum to within a modest factor
+  // (Businger-Golub bound is exponential; in practice it is tight here).
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sigma = std::pow(2.0, -double(i));
+    EXPECT_GT(std::abs(qr.r(i, i)), 0.01 * sigma);
+    EXPECT_LT(std::abs(qr.r(i, i)), 100.0 * sigma);
+  }
+  // A rel_tol cut selects the numerical rank at that threshold.
+  PivotedQrResult cut = pivoted_qr(a, 0, std::pow(2.0, -10.5));
+  EXPECT_GE(cut.rank, 8u);
+  EXPECT_LE(cut.rank, 14u);
+}
+
+TEST(PivotedQr, BitwiseDeterministicAcrossThreadCounts) {
+  Rng rng(33);
+  Matrix<double> a = random_matrix(60, 90, rng);
+
+  sched::set_global_threads(1);
+  PivotedQrResult serial = pivoted_qr(a, 40, 1e-12);
+  sched::set_global_threads(4);
+  PivotedQrResult threaded = pivoted_qr(a, 40, 1e-12);
+  sched::set_global_threads(0);
+
+  ASSERT_EQ(serial.rank, threaded.rank);
+  ASSERT_EQ(serial.pivots, threaded.pivots);
+  for (std::size_t j = 0; j < serial.r.cols(); ++j)
+    for (std::size_t i = 0; i < serial.r.rows(); ++i)
+      EXPECT_EQ(serial.r(i, j), threaded.r(i, j));
+  for (std::size_t j = 0; j < serial.q.cols(); ++j)
+    for (std::size_t i = 0; i < serial.q.rows(); ++i)
+      EXPECT_EQ(serial.q(i, j), threaded.q(i, j));
+}
+
+TEST(PivotedQr, FullRankAgreesWithUnpivotedQr) {
+  Rng rng(34);
+  Matrix<double> a = random_matrix(35, 12, rng);
+  for (std::size_t i = 0; i < 12; ++i) a(i, i) += 2.0;  // well-conditioned
+
+  PivotedQrResult qr = pivoted_qr(a);
+  EXPECT_EQ(qr.rank, 12u);
+  EXPECT_LT(qrcp_residual(a, qr), 1e-10);
+
+  // Q^T Q = I.
+  Matrix<double> g(12, 12);
+  gemm_tn(1.0, qr.q, qr.q, 0.0, g);
+  for (std::size_t j = 0; j < 12; ++j)
+    for (std::size_t i = 0; i < 12; ++i)
+      EXPECT_NEAR(g(i, j), i == j ? 1.0 : 0.0, 1e-10);
+
+  // Same column space as the unpivoted Householder Q: the cross-Gram
+  // Q_piv^T Q_house must be orthogonal (projectors coincide).
+  Matrix<double> qh = a;
+  householder_qr(qh);
+  Matrix<double> x(12, 12), xtx(12, 12);
+  gemm_tn(1.0, qr.q, qh, 0.0, x);
+  gemm_tn(1.0, x, x, 0.0, xtx);
+  for (std::size_t j = 0; j < 12; ++j)
+    for (std::size_t i = 0; i < 12; ++i)
+      EXPECT_NEAR(xtx(i, j), i == j ? 1.0 : 0.0, 1e-9);
 }
 
 TEST(NormFro, MatchesDefinition) {

@@ -28,7 +28,7 @@ import sys
 # adapts to measured throughput, so its histogram varies with load.
 TIMING_PAT = re.compile(
     r"seconds|_s$|time|iterations|GFLOP|GB/s|speedup|efficiency|/s$"
-    r"|block_size|chunks",
+    r"|block_size|chunks|crossover",
     re.IGNORECASE)
 
 
